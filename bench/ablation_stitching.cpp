@@ -1,0 +1,70 @@
+//===- ablation_stitching.cpp - §6.2: trace stitching ----------------------------------===//
+//
+// "Transitions from a trace to a branch trace at a side exit avoid the
+// costs of calling traces from the monitor, in a feature called trace
+// stitching." (§6.2) With stitching disabled, no branch traces are grown
+// at all: every divergent iteration exits to the monitor, reboxes state,
+// and re-enters -- the cost this feature exists to avoid.
+//
+//===----------------------------------------------------------------------===//
+
+#include <cstdio>
+
+#include "suite.h"
+
+using namespace tracejit;
+using namespace tracejit_bench;
+
+int main() {
+  printf("=== §6.2 ablation: trace stitching on vs. off ===\n");
+
+  const BenchProgram Branchy[] = {
+      {"alternating-branches",
+       "var a = 0, b = 0;\n"
+       "for (var i = 0; i < 400000; ++i) {\n"
+       "  if ((i & 1) == 0) a += i; else b += i;\n"
+       "}\n"
+       "print(a, b);",
+       "", true},
+      {"three-way-mod",
+       "var x = 0, y = 0, z = 0;\n"
+       "for (var i = 0; i < 300000; ++i) {\n"
+       "  var m = i % 3;\n"
+       "  if (m == 0) x += 1; else if (m == 1) y += 2; else z += 3;\n"
+       "}\n"
+       "print(x, y, z);",
+       "", true},
+      {"rare-branch",
+       "var s = 0;\n"
+       "for (var i = 0; i < 400000; ++i) {\n"
+       "  if ((i & 1023) == 0) s += 100; else s += 1;\n"
+       "}\n"
+       "print(s);",
+       "", true},
+  };
+
+  printf("%-24s %12s %12s %9s %10s %10s\n", "workload", "stitch(ms)",
+         "no-stitch(ms)", "benefit", "branches", "exits(off)");
+  for (const BenchProgram &P : Branchy) {
+    EngineOptions On = tracingOptions();
+    On.CollectStats = true;
+    EngineOptions Off = tracingOptions();
+    Off.EnableStitching = false;
+    Off.CollectStats = true;
+    RunResult A = runProgram(P, On, 5);
+    RunResult B = runProgram(P, Off, 5);
+    if (!A.Ok || !B.Ok) {
+      printf("%-24s FAILED: %s\n", P.Name,
+             (!A.Ok ? A.Error : B.Error).c_str());
+      continue;
+    }
+    printf("%-24s %12.2f %12.2f %8.2fx %10llu %10llu\n", P.Name, A.MeanMs,
+           B.MeanMs, B.MeanMs / A.MeanMs,
+           (unsigned long long)A.Stats.BranchesCompiled,
+           (unsigned long long)B.Stats.SideExits);
+  }
+  printf("\npaper shape check: branchy loops degrade sharply without "
+         "stitching because every\noff-trunk iteration pays a full "
+         "monitor round trip; rare branches barely care.\n");
+  return 0;
+}

@@ -1,0 +1,59 @@
+//===- preemption_overhead.cpp - §6.4 claim ------------------------------------------===//
+//
+// "The VM inserts a guard on the preemption flag at every loop edge. We
+// measured less than a 1% increase in runtime on most benchmarks for this
+// extra guard. In practice, the cost is detectable only for programs with
+// very short loops." (§6.4)
+//
+// Runs the suite with the preempt guard on and off and reports the delta,
+// plus a deliberately short-loop microworkload where the cost should peak.
+//
+//===----------------------------------------------------------------------===//
+
+#include <cstdio>
+
+#include "suite.h"
+
+using namespace tracejit;
+using namespace tracejit_bench;
+
+int main() {
+  printf("=== §6.4: preemption-guard overhead (guard on vs. off) ===\n");
+  printf("%-26s %12s %12s %10s\n", "benchmark", "guard-on(ms)",
+         "guard-off(ms)", "overhead");
+
+  for (const BenchProgram &P : suite()) {
+    EngineOptions On = tracingOptions();
+    EngineOptions Off = tracingOptions();
+    Off.EnablePreemptGuard = false;
+    RunResult A = runProgram(P, On, /*Runs=*/5);
+    RunResult B = runProgram(P, Off, /*Runs=*/5);
+    if (!A.Ok || !B.Ok) {
+      printf("%-26s FAILED: %s\n", P.Name,
+             (!A.Ok ? A.Error : B.Error).c_str());
+      continue;
+    }
+    printf("%-26s %12.2f %12.2f %+9.1f%%\n", P.Name, A.MeanMs, B.MeanMs,
+           100.0 * (A.MeanMs - B.MeanMs) / B.MeanMs);
+  }
+
+  // Very short loop body: the worst case the paper calls out.
+  BenchProgram Short{"short-loop-worst-case",
+                     "var s = 0;\n"
+                     "for (var r = 0; r < 4000; ++r)\n"
+                     "  for (var i = 0; i < 100; ++i) s += 1;\n"
+                     "print(s);",
+                     "", true};
+  EngineOptions On = tracingOptions();
+  EngineOptions Off = tracingOptions();
+  Off.EnablePreemptGuard = false;
+  RunResult A = runProgram(Short, On, 5);
+  RunResult B = runProgram(Short, Off, 5);
+  if (A.Ok && B.Ok)
+    printf("%-26s %12.2f %12.2f %+9.1f%%\n", Short.Name, A.MeanMs, B.MeanMs,
+           100.0 * (A.MeanMs - B.MeanMs) / B.MeanMs);
+
+  printf("\npaper shape check: overhead under ~1%% except for very short "
+         "loop bodies.\n");
+  return 0;
+}

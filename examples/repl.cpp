@@ -1,0 +1,73 @@
+//===- repl.cpp - Interactive MiniJS shell -----------------------------------------===//
+//
+// A read-eval-print loop over one persistent Engine: globals survive
+// between lines, traces accumulate in the trace cache, and `:stats`,
+// `:jit on|off`-style commands expose the VM.
+//
+//   $ ./repl
+//   tj> var s = 0; for (var i = 0; i < 1e6; ++i) s += i;
+//   tj> print(s);
+//   499999500000
+//   tj> :stats
+//
+//===----------------------------------------------------------------------===//
+
+#include <cstdio>
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "api/engine.h"
+
+using namespace tracejit;
+
+int main(int argc, char **argv) {
+  EngineOptions Opts;
+  Opts.CollectStats = true;
+  for (int I = 1; I < argc; ++I) {
+    std::string A = argv[I];
+    if (A == "--no-jit")
+      Opts.EnableJit = false;
+    else if (A == "--executor")
+      Opts.JitBackend = Backend::Executor;
+    else if (A == "--dump-lir")
+      Opts.DumpLIR = true;
+  }
+
+  auto E = std::make_unique<Engine>(Opts);
+  E->setPrintHook([](const std::string &S) { std::cout << S; });
+
+  std::cout << "tracejit REPL -- MiniJS with a trace-compiling JIT\n"
+            << "commands: :stats  :reset  :quit   (everything else is "
+               "evaluated)\n";
+
+  std::string Line;
+  while (true) {
+    std::cout << "tj> " << std::flush;
+    if (!std::getline(std::cin, Line))
+      break;
+    if (Line == ":quit" || Line == ":q")
+      break;
+    if (Line == ":stats") {
+      std::cout << E->stats().report();
+      continue;
+    }
+    if (Line == ":reset") {
+      E = std::make_unique<Engine>(Opts);
+      E->setPrintHook([](const std::string &S) { std::cout << S; });
+      std::cout << "(fresh engine)\n";
+      continue;
+    }
+    if (Line.empty())
+      continue;
+    // Convenience: expressions without a trailing ';' get wrapped in print.
+    std::string Src = Line;
+    if (Src.find(';') == std::string::npos &&
+        Src.rfind("print", 0) != 0)
+      Src = "print(" + Src + ");";
+    auto R = E->eval(Src);
+    if (!R.Ok)
+      std::cout << R.Error << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,73 @@
+//===- engine.cpp - Public embedding API ------------------------------------===//
+
+#include "api/engine.h"
+
+#include "frontend/parser.h"
+#include "interp/natives.h"
+#include "interp/tracehooks.h"
+
+namespace tracejit {
+
+Engine::Engine(const EngineOptions &Opts) : Ctx(Opts) {
+  Interp = std::make_unique<Interpreter>(Ctx);
+  installStandardGlobals(*Interp);
+  if (Opts.EnableJit) {
+    Monitor = createTraceMonitor(Ctx, *Interp);
+    Ctx.Monitor = Monitor.get();
+  }
+}
+
+Engine::~Engine() {
+  Ctx.Monitor = nullptr; // monitor dies before the context it observes
+}
+
+Engine::Result Engine::eval(std::string_view Source) {
+  Result R;
+  Ctx.HasError = false;
+  Ctx.ErrorMessage.clear();
+
+  std::string ParseError;
+  FunctionScript *Top = compileSource(Ctx, Source, &ParseError);
+  if (!Top) {
+    R.Ok = false;
+    R.Error = "SyntaxError: " + ParseError;
+    return R;
+  }
+
+  {
+    ActivityScope T(Ctx.Stats, Activity::Interpret, Ctx.Opts.CollectStats);
+    Interp->run(Top);
+  }
+  Ctx.Stats.stopTiming();
+  if (Ctx.HasError) {
+    R.Ok = false;
+    R.Error = "RuntimeError: " + Ctx.ErrorMessage;
+    Ctx.HasError = false;
+  }
+  return R;
+}
+
+void Engine::setPrintHook(std::function<void(const std::string &)> Hook) {
+  Ctx.PrintHook = std::move(Hook);
+}
+
+Value Engine::getGlobal(std::string_view Name) {
+  String *A = Ctx.Atoms.intern(Name);
+  auto It = Ctx.Globals.Index.find(A);
+  if (It == Ctx.Globals.Index.end())
+    return Value::undefined();
+  return Ctx.Globals.Values[It->second];
+}
+
+void Engine::setGlobalNumber(std::string_view Name, double V) {
+  uint32_t Slot = Ctx.Globals.slotFor(Ctx.Atoms.intern(Name));
+  Ctx.Globals.Values[Slot] = Ctx.TheHeap.boxNumber(V);
+}
+
+void Engine::registerNative(std::string_view Name, NativeFn Fn) {
+  String *A = Ctx.Atoms.intern(Name);
+  Object *F = Object::createNativeFunction(Ctx.TheHeap, Ctx.Shapes, Fn, A);
+  Ctx.Globals.Values[Ctx.Globals.slotFor(A)] = Value::makeObject(F);
+}
+
+} // namespace tracejit

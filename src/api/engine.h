@@ -1,0 +1,86 @@
+//===- engine.h - Public embedding API --------------------------------------===//
+//
+// The tracejit public API: create an Engine, eval MiniJS source, observe
+// results through globals/print, and inspect VM statistics. One Engine is
+// one VM: heap, globals, trace cache.
+//
+// Example:
+//   tracejit::EngineOptions Opts;
+//   tracejit::Engine E(Opts);
+//   E.setPrintHook([](const std::string &S) { std::cout << S; });
+//   auto R = E.eval("var t = 0; for (var i = 0; i < 1e6; ++i) t += i;"
+//                   "print(t);");
+//   if (!R.Ok) std::cerr << R.Error << "\n";
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef TRACEJIT_API_ENGINE_H
+#define TRACEJIT_API_ENGINE_H
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "api/options.h"
+#include "interp/interpreter.h"
+#include "interp/tracehooks.h"
+#include "interp/vmcontext.h"
+
+namespace tracejit {
+
+class Engine {
+public:
+  explicit Engine(const EngineOptions &Opts = EngineOptions());
+  ~Engine();
+  Engine(const Engine &) = delete;
+  Engine &operator=(const Engine &) = delete;
+
+  struct Result {
+    bool Ok = true;
+    std::string Error;
+  };
+
+  /// Compile and run a program. Compilation and runtime errors are
+  /// reported in the result; the engine stays usable afterwards.
+  Result eval(std::string_view Source);
+
+  /// Where `print` output goes (default: stdout).
+  void setPrintHook(std::function<void(const std::string &)> Hook);
+
+  /// Read a global by name (undefined if absent); handy in tests/examples.
+  Value getGlobal(std::string_view Name);
+  /// Define/overwrite a numeric global.
+  void setGlobalNumber(std::string_view Name, double V);
+  /// Register a host function as a global (classic boxed FFI, §6.5).
+  void registerNative(std::string_view Name, NativeFn Fn);
+
+  VMStats &stats() {
+    if (Monitor)
+      Monitor->syncStats();
+    return Ctx.Stats;
+  }
+  const EngineOptions &options() const { return Ctx.Opts; }
+
+  /// Raise the preempt flag, as the host would to interrupt a hot loop
+  /// (§6.4); the next loop edge -- interpreted or native -- services it.
+  void requestPreempt() { Ctx.PreemptFlag = 1; }
+
+  /// Internal access for tests and benchmarks.
+  VMContext &context() { return Ctx; }
+  Interpreter &interpreter() { return *Interp; }
+
+private:
+  VMContext Ctx;
+  std::unique_ptr<Interpreter> Interp;
+  std::unique_ptr<TraceMonitor> Monitor;
+};
+
+/// Factory defined by the trace engine; returns nullptr when \p Opts
+/// disables the JIT.
+std::unique_ptr<TraceMonitor> createTraceMonitor(VMContext &Ctx,
+                                                 Interpreter &I);
+
+} // namespace tracejit
+
+#endif // TRACEJIT_API_ENGINE_H

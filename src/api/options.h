@@ -1,0 +1,89 @@
+//===- options.h - Engine configuration ------------------------------------===//
+//
+// Every tunable the paper names is exposed here with the paper's default:
+// hot-loop threshold 2 (§3.2 "Starting a tree"), blacklist backoff 32 and
+// attempt limit 2 (§3.3), plus switches used by the ablation benchmarks.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef TRACEJIT_API_OPTIONS_H
+#define TRACEJIT_API_OPTIONS_H
+
+#include <cstdint>
+
+namespace tracejit {
+
+/// Which backend compiles/executes LIR fragments.
+enum class Backend : uint8_t {
+  Native,   ///< x86-64 machine code (the nanojit analog).
+  Executor, ///< Portable LIR interpreter; reference semantics.
+};
+
+/// LIR filter pipeline stages (§5.1); bitmask for ablation.
+enum FilterMask : uint32_t {
+  FilterExprSimp = 1u << 0,  ///< Constant folding + algebraic identities.
+  FilterCSE = 1u << 1,       ///< Common subexpression elimination.
+  FilterDeadStore = 1u << 2, ///< Dead data-stack / call-stack store elim.
+  FilterDCE = 1u << 3,       ///< Dead code elimination.
+  FilterAll = FilterExprSimp | FilterCSE | FilterDeadStore | FilterDCE,
+};
+
+struct EngineOptions {
+  /// Master switch; off = pure interpreter (the Figure 10 baseline).
+  bool EnableJit = true;
+
+  Backend JitBackend = Backend::Native;
+
+  /// Iterations before a loop header becomes hot ("2 in the current
+  /// implementation", §3.2).
+  uint32_t HotLoopThreshold = 2;
+
+  /// Side-exit executions before a branch trace is recorded (§3.2
+  /// "Extending a tree").
+  uint32_t HotExitThreshold = 2;
+
+  /// Passes skipped after a failed recording ("32 in our implementation").
+  uint32_t BlacklistBackoff = 32;
+
+  /// Failures before a loop header is blacklisted for good ("2 in our
+  /// implementation").
+  uint32_t MaxRecordingFailures = 2;
+
+  /// §4: nested trace trees. Off = abort any trace that reaches an inner
+  /// loop header (the "give up on outer loops" strawman).
+  bool EnableNesting = true;
+
+  /// §6.2: patch hot side exits to jump directly to branch traces.
+  /// Off = every transfer goes through the monitor.
+  bool EnableStitching = true;
+
+  /// §3.3: blacklisting. Off reproduces the pathological re-record loop.
+  bool EnableBlacklisting = true;
+
+  /// §6.4: guard the preempt/GC flag at every loop edge.
+  bool EnablePreemptGuard = true;
+
+  /// Active LIR filters.
+  uint32_t Filters = FilterAll;
+
+  /// §3.2: consult/maintain the oracle for int->double demotion.
+  bool EnableOracle = true;
+
+  /// Abort recording beyond this many LIR instructions.
+  uint32_t MaxTraceLength = 16384;
+
+  /// Abort recording beyond this scripted-call inline depth.
+  uint32_t MaxInlineDepth = 8;
+
+  /// Collect Figure 11 counters (adds a counter increment per fragment
+  /// entry and per interpreted bytecode).
+  bool CollectStats = false;
+
+  /// Diagnostics: dump recorded LIR / filtered LIR / native code sizes.
+  bool DumpLIR = false;
+  bool DumpAssembly = false;
+};
+
+} // namespace tracejit
+
+#endif // TRACEJIT_API_OPTIONS_H

@@ -1,0 +1,92 @@
+//===- bytecode.cpp - Opcode metadata and disassembler ---------------------===//
+
+#include "frontend/bytecode.h"
+
+#include <cstdio>
+
+#include "vm/string.h"
+
+namespace tracejit {
+
+static const OpInfo OpTable[] = {
+    {"nop", 0},          {"loopheader", 2}, {"nop3", 2},
+    {"pushconst", 2},    {"pushundef", 0},  {"pop", 0},
+    {"dup", 0},          {"dup2", 0},       {"getlocal", 2},
+    {"setlocal", 2},     {"getglobal", 2},  {"setglobal", 2},
+    {"getprop", 2},      {"setprop", 2},    {"initprop", 2},
+    {"getelem", 0},      {"setelem", 0},    {"add", 0},
+    {"sub", 0},          {"mul", 0},        {"div", 0},
+    {"mod", 0},          {"neg", 0},        {"bitand", 0},
+    {"bitor", 0},        {"bitxor", 0},     {"shl", 0},
+    {"shr", 0},          {"ushr", 0},       {"bitnot", 0},
+    {"lt", 0},           {"le", 0},         {"gt", 0},
+    {"ge", 0},           {"eq", 0},         {"ne", 0},
+    {"stricteq", 0},     {"strictne", 0},   {"lognot", 0},
+    {"jump", 4},         {"jumpiffalse", 4},{"jumpiftrue", 4},
+    {"call", 1},         {"callprop", 3},   {"return", 0},
+    {"returnundef", 0},  {"newarray", 2},   {"newobject", 0},
+};
+static_assert(sizeof(OpTable) / sizeof(OpTable[0]) == (size_t)Op::NumOps,
+              "opcode table out of sync");
+
+const OpInfo &opInfo(Op O) { return OpTable[(size_t)O]; }
+
+std::string FunctionScript::disassemble() const {
+  std::string Out;
+  char Buf[256];
+  snprintf(Buf, sizeof(Buf), "function %s (arity=%u locals=%u maxstack=%u)\n",
+           Name.empty() ? "<toplevel>" : Name.c_str(), Arity, NumLocals,
+           MaxStack);
+  Out += Buf;
+  uint32_t Pc = 0;
+  while (Pc < Code.size()) {
+    Op O = opAt(Pc);
+    const OpInfo &Info = opInfo(O);
+    snprintf(Buf, sizeof(Buf), "%5u  %-12s", Pc, Info.Name);
+    Out += Buf;
+    switch (O) {
+    case Op::PushConst: {
+      Value V = Consts[u16At(Pc + 1)];
+      snprintf(Buf, sizeof(Buf), " %s", valueToString(V).c_str());
+      Out += Buf;
+      break;
+    }
+    case Op::GetProp:
+    case Op::SetProp:
+    case Op::InitProp: {
+      String *A = Atoms[u16At(Pc + 1)];
+      snprintf(Buf, sizeof(Buf), " .%s", std::string(A->view()).c_str());
+      Out += Buf;
+      break;
+    }
+    case Op::CallProp: {
+      String *A = Atoms[u16At(Pc + 1)];
+      snprintf(Buf, sizeof(Buf), " .%s argc=%u",
+               std::string(A->view()).c_str(), Code[Pc + 3]);
+      Out += Buf;
+      break;
+    }
+    case Op::Jump:
+    case Op::JumpIfFalse:
+    case Op::JumpIfTrue:
+      snprintf(Buf, sizeof(Buf), " -> %u", u32At(Pc + 1));
+      Out += Buf;
+      break;
+    case Op::Call:
+      snprintf(Buf, sizeof(Buf), " argc=%u", Code[Pc + 1]);
+      Out += Buf;
+      break;
+    default:
+      if (Info.OperandBytes == 2) {
+        snprintf(Buf, sizeof(Buf), " %u", u16At(Pc + 1));
+        Out += Buf;
+      }
+      break;
+    }
+    Out += "\n";
+    Pc += 1 + Info.OperandBytes;
+  }
+  return Out;
+}
+
+} // namespace tracejit

@@ -1,0 +1,306 @@
+//===- lexer.cpp - MiniJS tokenizer ----------------------------------------===//
+
+#include "frontend/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace tracejit {
+
+void Lexer::skipTrivia() {
+  for (;;) {
+    char C = peek();
+    if (C == ' ' || C == '\t' || C == '\r') {
+      ++Pos;
+    } else if (C == '\n') {
+      ++Pos;
+      ++Line;
+    } else if (C == '/' && peek(1) == '/') {
+      while (peek() && peek() != '\n')
+        ++Pos;
+    } else if (C == '/' && peek(1) == '*') {
+      Pos += 2;
+      while (peek() && !(peek() == '*' && peek(1) == '/')) {
+        if (peek() == '\n')
+          ++Line;
+        ++Pos;
+      }
+      if (peek())
+        Pos += 2;
+    } else {
+      return;
+    }
+  }
+}
+
+Token Lexer::makeToken(Tok K, size_t Start) {
+  Token T;
+  T.Kind = K;
+  T.Text = Src.substr(Start, Pos - Start);
+  T.Line = Line;
+  return T;
+}
+
+Token Lexer::identifierOrKeyword() {
+  size_t Start = Pos;
+  while (std::isalnum((unsigned char)peek()) || peek() == '_' || peek() == '$')
+    ++Pos;
+  std::string_view S = Src.substr(Start, Pos - Start);
+  Tok K = Tok::Identifier;
+  if (S == "var")
+    K = Tok::KwVar;
+  else if (S == "function")
+    K = Tok::KwFunction;
+  else if (S == "if")
+    K = Tok::KwIf;
+  else if (S == "else")
+    K = Tok::KwElse;
+  else if (S == "while")
+    K = Tok::KwWhile;
+  else if (S == "for")
+    K = Tok::KwFor;
+  else if (S == "do")
+    K = Tok::KwDo;
+  else if (S == "break")
+    K = Tok::KwBreak;
+  else if (S == "continue")
+    K = Tok::KwContinue;
+  else if (S == "return")
+    K = Tok::KwReturn;
+  else if (S == "true")
+    K = Tok::KwTrue;
+  else if (S == "false")
+    K = Tok::KwFalse;
+  else if (S == "null")
+    K = Tok::KwNull;
+  else if (S == "undefined")
+    K = Tok::KwUndefined;
+  return makeToken(K, Start);
+}
+
+Token Lexer::number() {
+  size_t Start = Pos;
+  if (peek() == '0' && (peek(1) == 'x' || peek(1) == 'X')) {
+    Pos += 2;
+    while (std::isxdigit((unsigned char)peek()))
+      ++Pos;
+    Token T = makeToken(Tok::Number, Start);
+    T.NumValue =
+        (double)std::strtoull(std::string(T.Text.substr(2)).c_str(), nullptr,
+                              16);
+    return T;
+  }
+  while (std::isdigit((unsigned char)peek()))
+    ++Pos;
+  if (peek() == '.' && std::isdigit((unsigned char)peek(1))) {
+    ++Pos;
+    while (std::isdigit((unsigned char)peek()))
+      ++Pos;
+  }
+  if (peek() == 'e' || peek() == 'E') {
+    size_t Save = Pos;
+    ++Pos;
+    if (peek() == '+' || peek() == '-')
+      ++Pos;
+    if (std::isdigit((unsigned char)peek())) {
+      while (std::isdigit((unsigned char)peek()))
+        ++Pos;
+    } else {
+      Pos = Save;
+    }
+  }
+  Token T = makeToken(Tok::Number, Start);
+  T.NumValue = std::strtod(std::string(T.Text).c_str(), nullptr);
+  return T;
+}
+
+Token Lexer::stringLiteral(char Quote) {
+  size_t Start = Pos; // after the opening quote
+  while (peek() && peek() != Quote) {
+    if (peek() == '\\')
+      ++Pos;
+    if (peek() == '\n')
+      ++Line;
+    ++Pos;
+  }
+  Token T;
+  T.Kind = peek() == Quote ? Tok::StringLit : Tok::Error;
+  T.Text = Src.substr(Start, Pos - Start);
+  T.Line = Line;
+  if (peek() == Quote)
+    ++Pos;
+  return T;
+}
+
+std::string decodeStringLiteral(std::string_view Raw) {
+  std::string Out;
+  Out.reserve(Raw.size());
+  for (size_t I = 0; I < Raw.size(); ++I) {
+    char C = Raw[I];
+    if (C != '\\' || I + 1 >= Raw.size()) {
+      Out.push_back(C);
+      continue;
+    }
+    char E = Raw[++I];
+    switch (E) {
+    case 'n':
+      Out.push_back('\n');
+      break;
+    case 't':
+      Out.push_back('\t');
+      break;
+    case 'r':
+      Out.push_back('\r');
+      break;
+    case '0':
+      Out.push_back('\0');
+      break;
+    case 'x': {
+      if (I + 2 < Raw.size()) {
+        auto Hex = [](char H) -> int {
+          if (H >= '0' && H <= '9')
+            return H - '0';
+          if (H >= 'a' && H <= 'f')
+            return H - 'a' + 10;
+          if (H >= 'A' && H <= 'F')
+            return H - 'A' + 10;
+          return 0;
+        };
+        Out.push_back((char)(Hex(Raw[I + 1]) * 16 + Hex(Raw[I + 2])));
+        I += 2;
+      }
+      break;
+    }
+    default:
+      Out.push_back(E);
+      break;
+    }
+  }
+  return Out;
+}
+
+Token Lexer::next() {
+  skipTrivia();
+  size_t Start = Pos;
+  if (Pos >= Src.size())
+    return makeToken(Tok::Eof, Start);
+
+  char C = peek();
+  if (std::isalpha((unsigned char)C) || C == '_' || C == '$')
+    return identifierOrKeyword();
+  if (std::isdigit((unsigned char)C))
+    return number();
+  if (C == '"' || C == '\'') {
+    ++Pos;
+    return stringLiteral(C);
+  }
+
+  advance();
+  switch (C) {
+  case '(':
+    return makeToken(Tok::LParen, Start);
+  case ')':
+    return makeToken(Tok::RParen, Start);
+  case '{':
+    return makeToken(Tok::LBrace, Start);
+  case '}':
+    return makeToken(Tok::RBrace, Start);
+  case '[':
+    return makeToken(Tok::LBracket, Start);
+  case ']':
+    return makeToken(Tok::RBracket, Start);
+  case ';':
+    return makeToken(Tok::Semicolon, Start);
+  case ',':
+    return makeToken(Tok::Comma, Start);
+  case '.':
+    return makeToken(Tok::Dot, Start);
+  case ':':
+    return makeToken(Tok::Colon, Start);
+  case '?':
+    return makeToken(Tok::Question, Start);
+  case '~':
+    return makeToken(Tok::Tilde, Start);
+  case '+':
+    if (match('+'))
+      return makeToken(Tok::PlusPlus, Start);
+    if (match('='))
+      return makeToken(Tok::PlusAssign, Start);
+    return makeToken(Tok::Plus, Start);
+  case '-':
+    if (match('-'))
+      return makeToken(Tok::MinusMinus, Start);
+    if (match('='))
+      return makeToken(Tok::MinusAssign, Start);
+    return makeToken(Tok::Minus, Start);
+  case '*':
+    if (match('='))
+      return makeToken(Tok::StarAssign, Start);
+    return makeToken(Tok::Star, Start);
+  case '/':
+    if (match('='))
+      return makeToken(Tok::SlashAssign, Start);
+    return makeToken(Tok::Slash, Start);
+  case '%':
+    if (match('='))
+      return makeToken(Tok::PercentAssign, Start);
+    return makeToken(Tok::Percent, Start);
+  case '&':
+    if (match('&'))
+      return makeToken(Tok::AmpAmp, Start);
+    if (match('='))
+      return makeToken(Tok::AmpAssign, Start);
+    return makeToken(Tok::Amp, Start);
+  case '|':
+    if (match('|'))
+      return makeToken(Tok::PipePipe, Start);
+    if (match('='))
+      return makeToken(Tok::PipeAssign, Start);
+    return makeToken(Tok::Pipe, Start);
+  case '^':
+    if (match('='))
+      return makeToken(Tok::CaretAssign, Start);
+    return makeToken(Tok::Caret, Start);
+  case '!':
+    if (match('=')) {
+      if (match('='))
+        return makeToken(Tok::StrictNe, Start);
+      return makeToken(Tok::NotEq, Start);
+    }
+    return makeToken(Tok::Bang, Start);
+  case '=':
+    if (match('=')) {
+      if (match('='))
+        return makeToken(Tok::StrictEq, Start);
+      return makeToken(Tok::EqEq, Start);
+    }
+    return makeToken(Tok::Assign, Start);
+  case '<':
+    if (match('<')) {
+      if (match('='))
+        return makeToken(Tok::ShlAssign, Start);
+      return makeToken(Tok::Shl, Start);
+    }
+    if (match('='))
+      return makeToken(Tok::Le, Start);
+    return makeToken(Tok::Lt, Start);
+  case '>':
+    if (match('>')) {
+      if (match('>')) {
+        if (match('='))
+          return makeToken(Tok::UshrAssign, Start);
+        return makeToken(Tok::Ushr, Start);
+      }
+      if (match('='))
+        return makeToken(Tok::ShrAssign, Start);
+      return makeToken(Tok::Shr, Start);
+    }
+    if (match('='))
+      return makeToken(Tok::Ge, Start);
+    return makeToken(Tok::Gt, Start);
+  default:
+    return makeToken(Tok::Error, Start);
+  }
+}
+
+} // namespace tracejit

@@ -1,0 +1,127 @@
+//===- lexer.h - MiniJS tokenizer -------------------------------------------===//
+
+#ifndef TRACEJIT_FRONTEND_LEXER_H
+#define TRACEJIT_FRONTEND_LEXER_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace tracejit {
+
+enum class Tok : uint8_t {
+  Eof,
+  Error,
+  Identifier,
+  Number,
+  StringLit,
+  // Keywords.
+  KwVar,
+  KwFunction,
+  KwIf,
+  KwElse,
+  KwWhile,
+  KwFor,
+  KwDo,
+  KwBreak,
+  KwContinue,
+  KwReturn,
+  KwTrue,
+  KwFalse,
+  KwNull,
+  KwUndefined,
+  // Punctuation / operators.
+  LParen,
+  RParen,
+  LBrace,
+  RBrace,
+  LBracket,
+  RBracket,
+  Semicolon,
+  Comma,
+  Dot,
+  Colon,
+  Question,
+  Plus,
+  Minus,
+  Star,
+  Slash,
+  Percent,
+  Amp,
+  Pipe,
+  Caret,
+  Tilde,
+  Bang,
+  Shl,
+  Shr,
+  Ushr,
+  Lt,
+  Le,
+  Gt,
+  Ge,
+  EqEq,
+  NotEq,
+  StrictEq,
+  StrictNe,
+  AmpAmp,
+  PipePipe,
+  Assign,
+  PlusAssign,
+  MinusAssign,
+  StarAssign,
+  SlashAssign,
+  PercentAssign,
+  AmpAssign,
+  PipeAssign,
+  CaretAssign,
+  ShlAssign,
+  ShrAssign,
+  UshrAssign,
+  PlusPlus,
+  MinusMinus,
+};
+
+struct Token {
+  Tok Kind = Tok::Eof;
+  std::string_view Text;
+  double NumValue = 0;
+  uint32_t Line = 1;
+};
+
+/// Hand-written scanner for the MiniJS subset: //- and /*-comments, decimal
+/// and hex numbers, single/double-quoted strings with the common escapes.
+class Lexer {
+public:
+  explicit Lexer(std::string_view Source) : Src(Source) {}
+
+  Token next();
+
+private:
+  void skipTrivia();
+  Token makeToken(Tok K, size_t Start);
+  Token identifierOrKeyword();
+  Token number();
+  Token stringLiteral(char Quote);
+
+  char peek(size_t Off = 0) const {
+    return Pos + Off < Src.size() ? Src[Pos + Off] : 0;
+  }
+  char advance() { return Src[Pos++]; }
+  bool match(char C) {
+    if (peek() != C)
+      return false;
+    ++Pos;
+    return true;
+  }
+
+  std::string_view Src;
+  size_t Pos = 0;
+  uint32_t Line = 1;
+};
+
+/// Decode the escapes in a raw string literal body (without quotes).
+std::string decodeStringLiteral(std::string_view Raw);
+
+} // namespace tracejit
+
+#endif // TRACEJIT_FRONTEND_LEXER_H

@@ -1,0 +1,697 @@
+//===- interpreter.cpp - Boxed-value bytecode interpreter ------------------===//
+
+#include "interp/interpreter.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstring>
+
+#include "interp/natives.h"
+#include "interp/tracehooks.h"
+
+namespace tracejit {
+
+Interpreter::Interpreter(VMContext &C) : Ctx(C) {
+  Stack.resize(StackSlots, Value::undefined());
+  Frames.reserve(MaxFrames);
+  // Root the live portion of the value stack.
+  Ctx.TheHeap.addRootProvider([this](Marker &M) {
+    for (uint32_t I = 0; I < Sp; ++I)
+      M.markValue(Stack[I]);
+  });
+}
+
+Interpreter::~Interpreter() = default;
+
+// --- Semantic helpers ---------------------------------------------------------
+
+double Interpreter::toNumber(const Value &V) {
+  if (V.isInt())
+    return (double)V.toInt();
+  if (V.isDoubleCell())
+    return V.toDoubleCell()->Val;
+  if (V.isSpecial()) {
+    switch (V.specialPayload()) {
+    case SpecialFalse:
+      return 0;
+    case SpecialTrue:
+      return 1;
+    case SpecialNull:
+      return 0;
+    default:
+      return std::nan("");
+    }
+  }
+  if (V.isString()) {
+    // Minimal ToNumber on strings: empty -> 0, decimal literal -> value.
+    std::string S(V.toString()->view());
+    if (S.empty())
+      return 0;
+    char *End = nullptr;
+    double D = std::strtod(S.c_str(), &End);
+    if (End && *End == 0)
+      return D;
+    return std::nan("");
+  }
+  return std::nan(""); // objects (no valueOf in the subset)
+}
+
+int32_t Interpreter::toInt32(double D) {
+  // ECMA-262 ToInt32: modular reduction into the int32 range.
+  if (std::isnan(D) || std::isinf(D))
+    return 0;
+  double T = std::trunc(D);
+  double M = std::fmod(T, 4294967296.0);
+  if (M < 0)
+    M += 4294967296.0;
+  uint32_t U = (uint32_t)M;
+  return (int32_t)U;
+}
+
+bool Interpreter::strictEquals(const Value &A, const Value &B) {
+  if (A.isNumber() && B.isNumber())
+    return A.numberValue() == B.numberValue();
+  if (A.isString() && B.isString())
+    return A.toString()->view() == B.toString()->view();
+  return A.bits() == B.bits();
+}
+
+bool Interpreter::looseEquals(const Value &A, const Value &B) {
+  if (A.isNumber() && B.isNumber())
+    return A.numberValue() == B.numberValue();
+  if (A.isString() && B.isString())
+    return A.toString()->view() == B.toString()->view();
+  if ((A.isNull() || A.isUndefined()) && (B.isNull() || B.isUndefined()))
+    return true;
+  if (A.isBoolean() || B.isBoolean()) {
+    if (A.isObject() || B.isObject())
+      return false;
+    return toNumber(A) == toNumber(B);
+  }
+  if (A.isNumber() && B.isString())
+    return A.numberValue() == toNumber(B);
+  if (A.isString() && B.isNumber())
+    return toNumber(A) == B.numberValue();
+  return A.bits() == B.bits(); // object identity / mixed -> false
+}
+
+int Interpreter::compareValues(const Value &A, const Value &B) {
+  if (A.isString() && B.isString()) {
+    int C = A.toString()->view().compare(B.toString()->view());
+    return C < 0 ? -1 : C > 0 ? 1 : 0;
+  }
+  double X = toNumber(A), Y = toNumber(B);
+  if (std::isnan(X) || std::isnan(Y))
+    return 2; // unordered: all relational comparisons false
+  return X < Y ? -1 : X > Y ? 1 : 0;
+}
+
+Value Interpreter::concatValues(const Value &A, const Value &B) {
+  std::string S = valueToString(A) + valueToString(B);
+  Value R = Value::makeString(String::create(Ctx.TheHeap, S));
+  Ctx.maybeScheduleGC();
+  return R;
+}
+
+void Interpreter::rtError(const char *Msg) {
+  std::string Full = Msg;
+  if (!Frames.empty() && Frames.back().Script &&
+      !Frames.back().Script->Name.empty())
+    Full += " (in function " + Frames.back().Script->Name + ")";
+  Ctx.raiseError(Full);
+}
+
+// --- Property / element / call semantics ----------------------------------------
+
+Value Interpreter::getPropValue(const Value &Base, String *Name) {
+  if (Base.isString()) {
+    if (Name->view() == "length")
+      return Value::makeInt((int32_t)Base.toString()->length());
+    rtError("unknown string property");
+    return Value::undefined();
+  }
+  if (!Base.isObject()) {
+    rtError("cannot read property of non-object");
+    return Value::undefined();
+  }
+  Object *O = Base.toObject();
+  if (O->isArray() && Name->view() == "length")
+    return Value::makeInt((int32_t)O->arrayLength());
+  return O->getProperty(Name);
+}
+
+Value Interpreter::getElemValue(const Value &Base, const Value &Index) {
+  if (Base.isObject()) {
+    Object *O = Base.toObject();
+    if (O->isArray()) {
+      double D = toNumber(Index);
+      int64_t I = (int64_t)D;
+      if ((double)I != D || I < 0) {
+        rtError("non-integer array index");
+        return Value::undefined();
+      }
+      return O->getElement((uint32_t)I);
+    }
+    rtError("indexing a non-array object");
+    return Value::undefined();
+  }
+  if (Base.isString()) {
+    String *S = Base.toString();
+    double D = toNumber(Index);
+    int64_t I = (int64_t)D;
+    if ((double)I != D || I < 0 || I >= (int64_t)S->length())
+      return Value::undefined();
+    Value R = Value::makeString(
+        String::create(Ctx.TheHeap, std::string_view(S->data() + I, 1)));
+    Ctx.maybeScheduleGC();
+    return R;
+  }
+  rtError("indexing a non-object");
+  return Value::undefined();
+}
+
+bool Interpreter::setElemValue(const Value &Base, const Value &Index,
+                               const Value &V) {
+  if (!Base.isObject() || !Base.toObject()->isArray()) {
+    rtError("element store on a non-array");
+    return false;
+  }
+  double D = toNumber(Index);
+  int64_t I = (int64_t)D;
+  if ((double)I != D || I < 0) {
+    rtError("non-integer array index");
+    return false;
+  }
+  Base.toObject()->setElement(Ctx.TheHeap, (uint32_t)I, V);
+  return true;
+}
+
+Value Interpreter::callNative(Object *Callee, Value ThisV, const Value *Args,
+                              uint32_t N) {
+  Value R = Callee->native()(*this, ThisV, Args, N);
+  Ctx.maybeScheduleGC();
+  return R;
+}
+
+bool Interpreter::pushFrameForCall(Object *Callee, uint32_t ArgC) {
+  FunctionScript *S = Callee->script();
+  // Normalize the argument count to the arity.
+  while (ArgC < S->Arity) {
+    Stack[Sp++] = Value::undefined();
+    ++ArgC;
+  }
+  while (ArgC > S->Arity) {
+    --Sp;
+    --ArgC;
+  }
+  uint32_t Base = Sp - ArgC;
+  if (Base + S->frameSlots() + 64 > StackSlots) {
+    rtError("stack overflow");
+    return false;
+  }
+  if (Frames.size() >= MaxFrames) {
+    rtError("too much recursion");
+    return false;
+  }
+  // Initialize non-parameter locals.
+  for (uint32_t I = S->Arity; I < S->NumLocals; ++I)
+    Stack[Base + I] = Value::undefined();
+  Frame F;
+  F.Script = S;
+  F.Base = Base;
+  F.ReturnPc = Pc;
+  Frames.push_back(F);
+  Sp = Base + S->NumLocals;
+  Pc = 0;
+  return true;
+}
+
+Value Interpreter::callValue(Value Callee, Value ThisV, const Value *Args,
+                             uint32_t N) {
+  if (!Callee.isObject() || !Callee.toObject()->isFunction()) {
+    rtError("calling a non-function");
+    return Value::undefined();
+  }
+  Object *F = Callee.toObject();
+  if (F->native())
+    return callNative(F, ThisV, Args, N);
+
+  // Re-entrant scripted call: set up [callee args...] and run a nested
+  // dispatch until this frame returns.
+  uint32_t SavedPc = Pc;
+  size_t SavedFrames = Frames.size();
+  Stack[Sp++] = Callee;
+  for (uint32_t I = 0; I < N; ++I)
+    Stack[Sp++] = Args[I];
+  if (!pushFrameForCall(F, N))
+    return Value::undefined();
+  Value R = dispatchUntil(SavedFrames);
+  Pc = SavedPc;
+  return R;
+}
+
+// --- Dispatch -------------------------------------------------------------------
+
+Value Interpreter::run(FunctionScript *Top) {
+  Frame F;
+  F.Script = Top;
+  F.Base = Sp;
+  F.ReturnPc = 0;
+  Frames.push_back(F);
+  Sp += Top->NumLocals;
+  Pc = 0;
+  Value R = dispatchUntil(Frames.size() - 1);
+  if (Ctx.Monitor)
+    Ctx.Monitor->flushRecorder();
+  return R;
+}
+
+Value Interpreter::dispatch() { return dispatchUntil(Frames.size() - 1); }
+
+Value Interpreter::dispatchUntil(size_t StopDepth) {
+  VMContext &C = Ctx;
+  bool Stats = C.Opts.CollectStats;
+
+  while (true) {
+    if (C.HasError) {
+      // Unwind everything this dispatch owns.
+      while (Frames.size() > StopDepth)
+        Frames.pop_back();
+      return Value::undefined();
+    }
+    Frame &F = Frames.back();
+    FunctionScript *Script = F.Script;
+    Op O = (Op)Script->Code[Pc];
+
+    if (C.Monitor && C.Monitor->recording() && O != Op::LoopHeader) {
+      C.Monitor->recordOp(*this, Pc);
+      if (Stats)
+        ++C.Stats.BytecodesRecorded;
+    } else if (Stats) {
+      ++C.Stats.BytecodesInterpreted;
+    }
+
+    switch (O) {
+    case Op::Nop:
+      ++Pc;
+      break;
+    case Op::Nop3:
+      Pc += 3;
+      break;
+
+    case Op::LoopHeader: {
+      if (C.PreemptFlag && !C.OnTrace)
+        C.servicePreempt();
+      if (C.Monitor) {
+        uint16_t LoopId = Script->u16At(Pc + 1);
+        uint32_t NewPc = C.Monitor->onLoopEdge(*this, Pc, LoopId);
+        Pc = NewPc;
+      } else {
+        Pc += 3;
+      }
+      break;
+    }
+
+    case Op::PushConst:
+      Stack[Sp++] = Script->Consts[Script->u16At(Pc + 1)];
+      Pc += 3;
+      break;
+    case Op::PushUndefined:
+      Stack[Sp++] = Value::undefined();
+      ++Pc;
+      break;
+    case Op::Pop:
+      --Sp;
+      ++Pc;
+      break;
+    case Op::Dup:
+      Stack[Sp] = Stack[Sp - 1];
+      ++Sp;
+      ++Pc;
+      break;
+    case Op::Dup2:
+      Stack[Sp] = Stack[Sp - 2];
+      Stack[Sp + 1] = Stack[Sp - 1];
+      Sp += 2;
+      ++Pc;
+      break;
+
+    case Op::GetLocal:
+      Stack[Sp++] = Stack[F.Base + Script->u16At(Pc + 1)];
+      Pc += 3;
+      break;
+    case Op::SetLocal:
+      Stack[F.Base + Script->u16At(Pc + 1)] = Stack[Sp - 1];
+      Pc += 3;
+      break;
+    case Op::GetGlobal:
+      Stack[Sp++] = C.Globals.Values[Script->u16At(Pc + 1)];
+      Pc += 3;
+      break;
+    case Op::SetGlobal:
+      C.Globals.Values[Script->u16At(Pc + 1)] = Stack[Sp - 1];
+      Pc += 3;
+      break;
+
+    case Op::GetProp: {
+      Value B = Stack[Sp - 1];
+      Stack[Sp - 1] = getPropValue(B, Script->Atoms[Script->u16At(Pc + 1)]);
+      Pc += 3;
+      break;
+    }
+    case Op::SetProp: {
+      Value V = Stack[Sp - 1];
+      Value B = Stack[Sp - 2];
+      if (!B.isObject()) {
+        rtError("property store on a non-object");
+        break;
+      }
+      B.toObject()->setProperty(C.Shapes, Script->Atoms[Script->u16At(Pc + 1)],
+                                V);
+      Stack[Sp - 2] = V;
+      --Sp;
+      Pc += 3;
+      break;
+    }
+    case Op::InitProp: {
+      Value V = Stack[Sp - 1];
+      Value B = Stack[Sp - 2];
+      B.toObject()->setProperty(C.Shapes, Script->Atoms[Script->u16At(Pc + 1)],
+                                V);
+      --Sp;
+      Pc += 3;
+      break;
+    }
+    case Op::GetElem: {
+      Value I = Stack[Sp - 1];
+      Value B = Stack[Sp - 2];
+      Stack[Sp - 2] = getElemValue(B, I);
+      --Sp;
+      ++Pc;
+      break;
+    }
+    case Op::SetElem: {
+      Value V = Stack[Sp - 1];
+      Value I = Stack[Sp - 2];
+      Value B = Stack[Sp - 3];
+      setElemValue(B, I, V);
+      Stack[Sp - 3] = V;
+      Sp -= 2;
+      ++Pc;
+      break;
+    }
+
+    case Op::Add: {
+      Value B = Stack[Sp - 1];
+      Value A = Stack[Sp - 2];
+      --Sp;
+      if (A.isInt() && B.isInt()) {
+        int64_t R = (int64_t)A.toInt() + B.toInt();
+        Stack[Sp - 1] = Value::fitsInt31(R)
+                            ? Value::makeInt((int32_t)R)
+                            : C.TheHeap.boxDouble((double)R);
+      } else if (A.isString() || B.isString()) {
+        Stack[Sp - 1] = concatValues(A, B);
+      } else {
+        Stack[Sp - 1] = C.TheHeap.boxNumber(toNumber(A) + toNumber(B));
+      }
+      ++Pc;
+      break;
+    }
+    case Op::Sub: {
+      Value B = Stack[Sp - 1];
+      Value A = Stack[Sp - 2];
+      --Sp;
+      if (A.isInt() && B.isInt()) {
+        int64_t R = (int64_t)A.toInt() - B.toInt();
+        Stack[Sp - 1] = Value::fitsInt31(R)
+                            ? Value::makeInt((int32_t)R)
+                            : C.TheHeap.boxDouble((double)R);
+      } else {
+        Stack[Sp - 1] = C.TheHeap.boxNumber(toNumber(A) - toNumber(B));
+      }
+      ++Pc;
+      break;
+    }
+    case Op::Mul: {
+      Value B = Stack[Sp - 1];
+      Value A = Stack[Sp - 2];
+      --Sp;
+      if (A.isInt() && B.isInt()) {
+        int64_t R = (int64_t)A.toInt() * B.toInt();
+        Stack[Sp - 1] = Value::fitsInt31(R)
+                            ? Value::makeInt((int32_t)R)
+                            : C.TheHeap.boxDouble((double)R);
+      } else {
+        Stack[Sp - 1] = C.TheHeap.boxNumber(toNumber(A) * toNumber(B));
+      }
+      ++Pc;
+      break;
+    }
+    case Op::Div: {
+      Value B = Stack[Sp - 1];
+      Value A = Stack[Sp - 2];
+      --Sp;
+      Stack[Sp - 1] = C.TheHeap.boxNumber(toNumber(A) / toNumber(B));
+      ++Pc;
+      break;
+    }
+    case Op::Mod: {
+      Value B = Stack[Sp - 1];
+      Value A = Stack[Sp - 2];
+      --Sp;
+      if (A.isInt() && B.isInt() && A.toInt() >= 0 && B.toInt() > 0) {
+        Stack[Sp - 1] = Value::makeInt(A.toInt() % B.toInt());
+      } else {
+        Stack[Sp - 1] =
+            C.TheHeap.boxNumber(std::fmod(toNumber(A), toNumber(B)));
+      }
+      ++Pc;
+      break;
+    }
+    case Op::Neg: {
+      Value A = Stack[Sp - 1];
+      if (A.isInt() && A.toInt() != 0 && A.toInt() != INT32_MIN)
+        Stack[Sp - 1] = Value::makeInt(-A.toInt());
+      else
+        Stack[Sp - 1] = C.TheHeap.boxDouble(-toNumber(A));
+      ++Pc;
+      break;
+    }
+
+    case Op::BitAnd:
+    case Op::BitOr:
+    case Op::BitXor:
+    case Op::Shl:
+    case Op::Shr: {
+      Value B = Stack[Sp - 1];
+      Value A = Stack[Sp - 2];
+      --Sp;
+      int32_t X = A.isInt() ? A.toInt() : valueToInt32(A);
+      int32_t Y = B.isInt() ? B.toInt() : valueToInt32(B);
+      int32_t R;
+      switch (O) {
+      case Op::BitAnd:
+        R = X & Y;
+        break;
+      case Op::BitOr:
+        R = X | Y;
+        break;
+      case Op::BitXor:
+        R = X ^ Y;
+        break;
+      case Op::Shl:
+        R = (int32_t)((uint32_t)X << (Y & 31));
+        break;
+      default:
+        R = X >> (Y & 31);
+        break;
+      }
+      Stack[Sp - 1] = Value::makeInt(R);
+      ++Pc;
+      break;
+    }
+    case Op::Ushr: {
+      Value B = Stack[Sp - 1];
+      Value A = Stack[Sp - 2];
+      --Sp;
+      uint32_t X = (uint32_t)(A.isInt() ? A.toInt() : valueToInt32(A));
+      int32_t Y = B.isInt() ? B.toInt() : valueToInt32(B);
+      uint32_t R = X >> (Y & 31);
+      Stack[Sp - 1] = R <= (uint32_t)INT32_MAX
+                          ? Value::makeInt((int32_t)R)
+                          : C.TheHeap.boxDouble((double)R);
+      ++Pc;
+      break;
+    }
+    case Op::BitNot: {
+      Value A = Stack[Sp - 1];
+      int32_t X = A.isInt() ? A.toInt() : valueToInt32(A);
+      Stack[Sp - 1] = Value::makeInt(~X);
+      ++Pc;
+      break;
+    }
+
+    case Op::Lt:
+    case Op::Le:
+    case Op::Gt:
+    case Op::Ge: {
+      Value B = Stack[Sp - 1];
+      Value A = Stack[Sp - 2];
+      --Sp;
+      bool R;
+      if (A.isInt() && B.isInt()) {
+        int32_t X = A.toInt(), Y = B.toInt();
+        R = O == Op::Lt   ? X < Y
+            : O == Op::Le ? X <= Y
+            : O == Op::Gt ? X > Y
+                          : X >= Y;
+      } else {
+        int Cv = compareValues(A, B);
+        if (Cv == 2)
+          R = false;
+        else
+          R = O == Op::Lt   ? Cv < 0
+              : O == Op::Le ? Cv <= 0
+              : O == Op::Gt ? Cv > 0
+                            : Cv >= 0;
+      }
+      Stack[Sp - 1] = Value::makeBoolean(R);
+      ++Pc;
+      break;
+    }
+    case Op::Eq:
+    case Op::Ne: {
+      Value B = Stack[Sp - 1];
+      Value A = Stack[Sp - 2];
+      --Sp;
+      bool R = looseEquals(A, B);
+      Stack[Sp - 1] = Value::makeBoolean(O == Op::Eq ? R : !R);
+      ++Pc;
+      break;
+    }
+    case Op::StrictEq:
+    case Op::StrictNe: {
+      Value B = Stack[Sp - 1];
+      Value A = Stack[Sp - 2];
+      --Sp;
+      bool R = strictEquals(A, B);
+      Stack[Sp - 1] = Value::makeBoolean(O == Op::StrictEq ? R : !R);
+      ++Pc;
+      break;
+    }
+    case Op::LogicalNot:
+      Stack[Sp - 1] = Value::makeBoolean(!Stack[Sp - 1].truthy());
+      ++Pc;
+      break;
+
+    case Op::Jump:
+      Pc = Script->u32At(Pc + 1);
+      break;
+    case Op::JumpIfFalse: {
+      Value V = Stack[--Sp];
+      Pc = V.truthy() ? Pc + 5 : Script->u32At(Pc + 1);
+      break;
+    }
+    case Op::JumpIfTrue: {
+      Value V = Stack[--Sp];
+      Pc = V.truthy() ? Script->u32At(Pc + 1) : Pc + 5;
+      break;
+    }
+
+    case Op::Call: {
+      uint8_t ArgC = Script->Code[Pc + 1];
+      Value Callee = Stack[Sp - ArgC - 1];
+      if (!Callee.isObject() || !Callee.toObject()->isFunction()) {
+        rtError("calling a non-function");
+        break;
+      }
+      Object *FnObj = Callee.toObject();
+      if (FnObj->native()) {
+        Value R = callNative(FnObj, Value::undefined(), &Stack[Sp - ArgC],
+                             ArgC);
+        Sp -= ArgC + 1;
+        Stack[Sp++] = R;
+        Pc += 2;
+        break;
+      }
+      Pc += 2; // resume point after the call
+      if (!pushFrameForCall(FnObj, ArgC))
+        break;
+      break;
+    }
+
+    case Op::CallProp: {
+      String *Name = Script->Atoms[Script->u16At(Pc + 1)];
+      uint8_t ArgC = Script->Code[Pc + 3];
+      Value Recv = Stack[Sp - ArgC - 1];
+      // Scripted method on an object property: rewrite into a normal call.
+      if (Recv.isObject() && !Recv.toObject()->isArray()) {
+        Value M = Recv.toObject()->getProperty(Name);
+        if (M.isObject() && M.toObject()->isFunction()) {
+          Object *FnObj = M.toObject();
+          if (FnObj->native()) {
+            Value R = callNative(FnObj, Recv, &Stack[Sp - ArgC], ArgC);
+            Sp -= ArgC + 1;
+            Stack[Sp++] = R;
+            Pc += 4;
+            break;
+          }
+          Stack[Sp - ArgC - 1] = M;
+          Pc += 4;
+          if (!pushFrameForCall(FnObj, ArgC))
+            break;
+          break;
+        }
+      }
+      Value R = callPropValue(Recv, Name, &Stack[Sp - ArgC], ArgC);
+      Sp -= ArgC + 1;
+      Stack[Sp++] = R;
+      Pc += 4;
+      break;
+    }
+
+    case Op::Return:
+    case Op::ReturnUndefined: {
+      Value R = O == Op::Return ? Stack[--Sp] : Value::undefined();
+      Frame Done = Frames.back();
+      Frames.pop_back();
+      if (Frames.size() == StopDepth) {
+        Sp = Done.Base;
+        if (Done.Base > 0)
+          --Sp; // drop the callee slot pushed by callValue
+        return R;
+      }
+      Sp = Done.Base - 1; // drop args, locals, and the callee slot
+      Stack[Sp++] = R;
+      Pc = Done.ReturnPc;
+      break;
+    }
+
+    case Op::NewArray: {
+      uint16_t N = Script->u16At(Pc + 1);
+      Object *A = Object::createArray(C.TheHeap, C.Shapes, N);
+      for (uint16_t I = 0; I < N; ++I)
+        A->setElement(C.TheHeap, I, Stack[Sp - N + I]);
+      Sp -= N;
+      Stack[Sp++] = Value::makeObject(A);
+      C.maybeScheduleGC();
+      Pc += 3;
+      break;
+    }
+    case Op::NewObject: {
+      Object *Obj = Object::create(C.TheHeap, C.Shapes);
+      Stack[Sp++] = Value::makeObject(Obj);
+      C.maybeScheduleGC();
+      ++Pc;
+      break;
+    }
+
+    case Op::NumOps:
+      rtError("corrupt bytecode");
+      break;
+    }
+  }
+}
+
+} // namespace tracejit

@@ -1,0 +1,49 @@
+//===- tracehooks.h - Interpreter <-> trace-engine interface ---------------===//
+//
+// The interpreter's only knowledge of the trace engine: an abstract monitor
+// invoked at loop edges (the paper's "trace monitor", Fig. 2) and a
+// per-bytecode recording hook ("the interpreter's dispatch table is swapped
+// to call a recording routine for every bytecode", §6.3 -- we gate on a
+// flag instead, same semantics).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef TRACEJIT_INTERP_TRACEHOOKS_H
+#define TRACEJIT_INTERP_TRACEHOOKS_H
+
+#include <cstdint>
+
+namespace tracejit {
+
+class Interpreter;
+
+class TraceMonitor {
+public:
+  virtual ~TraceMonitor() = default;
+
+  /// Called when the interpreter executes a LoopHeader bytecode at \p Pc
+  /// (interpreter state is synced). The monitor may count hotness, start or
+  /// finish recording, or execute a compiled trace (mutating the
+  /// interpreter's frames/stack). Returns the pc to continue interpreting
+  /// at.
+  virtual uint32_t onLoopEdge(Interpreter &I, uint32_t Pc, uint16_t LoopId) = 0;
+
+  /// True while a trace recorder is active.
+  virtual bool recording() const = 0;
+
+  /// Pre-execution recording hook for every bytecode while recording.
+  /// Interpreter state is synced; the hook must not mutate it.
+  virtual void recordOp(Interpreter &I, uint32_t Pc) = 0;
+
+  /// Called when the dispatch loop is about to return from the outermost
+  /// frame or an error unwinds; any active recording must be aborted.
+  virtual void flushRecorder() = 0;
+
+  /// Fold derived statistics (e.g. the Figure 11 native-bytecode estimate,
+  /// summed over fragments) into VMStats before it is read.
+  virtual void syncStats() {}
+};
+
+} // namespace tracejit
+
+#endif // TRACEJIT_INTERP_TRACEHOOKS_H

@@ -1,0 +1,141 @@
+//===- vmcontext.h - Shared VM state ---------------------------------------===//
+//
+// The state shared by the interpreter, the trace engine, and the public
+// Engine facade: heap, atoms, shapes, compiled scripts, the global table,
+// options, statistics, and the preempt flag the paper guards at every loop
+// edge (§6.4).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef TRACEJIT_INTERP_VMCONTEXT_H
+#define TRACEJIT_INTERP_VMCONTEXT_H
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "api/options.h"
+#include "frontend/bytecode.h"
+#include "support/stats.h"
+#include "vm/gc.h"
+#include "vm/object.h"
+#include "vm/shape.h"
+#include "vm/string.h"
+
+namespace tracejit {
+
+class TraceMonitor;
+struct ExitDescriptor;
+
+/// The global variable table. The bytecode compiler resolves global names
+/// to slot indices at compile time, so the interpreter indexes an array and
+/// compiled traces import globals by slot ("the trace imports local and
+/// global variables by unboxing them and copying them to its activation
+/// record", §3.1).
+struct GlobalTable {
+  std::vector<String *> Names;
+  std::vector<Value> Values;
+  std::unordered_map<String *, uint32_t> Index;
+
+  uint32_t slotFor(String *Name) {
+    auto It = Index.find(Name);
+    if (It != Index.end())
+      return It->second;
+    uint32_t Slot = (uint32_t)Values.size();
+    Names.push_back(Name);
+    Values.push_back(Value::undefined());
+    Index.emplace(Name, Slot);
+    return Slot;
+  }
+  uint32_t size() const { return (uint32_t)Values.size(); }
+};
+
+struct VMContext {
+  explicit VMContext(const EngineOptions &O)
+      : Opts(O), Atoms(TheHeap), RandomState(0x2545F4914F6CDD1DULL) {
+    TheHeap.addRootProvider([this](Marker &M) {
+      for (Value &V : Globals.Values)
+        M.markValue(V);
+      for (auto &S : Scripts)
+        for (Value &V : S->Consts)
+          M.markValue(V);
+    });
+  }
+
+  EngineOptions Opts;
+  Heap TheHeap;
+  AtomTable Atoms;
+  ShapeTree Shapes;
+  GlobalTable Globals;
+  std::vector<std::unique_ptr<FunctionScript>> Scripts;
+  VMStats Stats;
+
+  /// Created lazily when the JIT is enabled. Owned by the Engine.
+  TraceMonitor *Monitor = nullptr;
+
+  /// The preempt flag: set by GC pressure (or tests); every compiled loop
+  /// edge guards on it being zero (§6.4). Must have a stable address that
+  /// generated code can embed.
+  volatile uint32_t PreemptFlag = 0;
+
+  /// Set while a compiled trace is running; external functions that reenter
+  /// the interpreter check it (§6.5). Also used as the "no GC on trace"
+  /// latch.
+  bool OnTrace = false;
+
+  /// When a nested tree call returns through an unexpected exit, generated
+  /// code stashes the inner tree's actual exit descriptor here before
+  /// side-exiting the outer trace (§4.1).
+  ExitDescriptor *LastNestedExit = nullptr;
+
+  /// The trace-time call-stack area (the paper's "frame entry and exit LIR
+  /// saves just enough information to allow the interpreter call stack to
+  /// be restored later", §3.1). Exit descriptors record the static shape
+  /// of the frame chain (scripts, bases), but return pcs depend on the
+  /// call site a trace was entered from, so they travel dynamically: the
+  /// monitor writes the live frames' return pcs here on trace entry, and
+  /// traces store the (static) return pc of each call they inline at the
+  /// frame's depth. Restores read return pcs from here.
+  std::vector<uint32_t> FrameReturnPcs = std::vector<uint32_t>(2048, 0);
+
+  /// Runtime error state (we compile with -fno-exceptions style error
+  /// handling: natives/interpreter set this and unwind by return values).
+  bool HasError = false;
+  std::string ErrorMessage;
+
+  /// Where `print` output goes; tests capture it, examples print to stdout.
+  std::function<void(const std::string &)> PrintHook;
+
+  /// Deterministic Math.random state (xorshift64*).
+  uint64_t RandomState;
+
+  void raiseError(const std::string &Msg) {
+    if (!HasError) {
+      HasError = true;
+      ErrorMessage = Msg;
+    }
+  }
+
+  /// Request a GC at the next safe point by raising the preempt flag.
+  void maybeScheduleGC() {
+    if (TheHeap.wantsGC())
+      PreemptFlag = 1;
+  }
+
+  /// Service the preempt flag at a safe point (interpreter loop edge or
+  /// trace exit): run the GC if the heap asked for one.
+  void servicePreempt() {
+    PreemptFlag = 0;
+    if (TheHeap.wantsGC()) {
+      TheHeap.collect();
+      ++Stats.GCs;
+    }
+  }
+};
+
+} // namespace tracejit
+
+#endif // TRACEJIT_INTERP_VMCONTEXT_H

@@ -1,0 +1,87 @@
+//===- compiler_x64.h - LIR -> x86-64 (the nanojit analog) --------------------===//
+//
+// Compiles LIR fragments to native code:
+//
+//  * One shared entry trampoline saves callee-saved registers, pins the TAR
+//    pointer in RBX, reserves a shared spill area, and tail-jumps into the
+//    fragment; one shared exit epilogue unwinds and returns the
+//    ExitDescriptor* (paper §6.1: traces "may be called as functions using
+//    standard native calling conventions").
+//
+//  * Register allocation is a greedy single pass with the paper's spill
+//    heuristic (§5.2): when no register is free, evict the register-carried
+//    value whose next reference is furthest away, which "frees up a
+//    register for as long as possible given a single spill".
+//
+//  * Each guard compiles to a test + jcc to a per-exit stub
+//    (mov rax, exit; jmp shared_epilogue). Trace stitching overwrites the
+//    stub with a direct jump to the branch fragment (§6.2); because all
+//    code lives in one pool, rel32 always reaches.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef TRACEJIT_JIT_COMPILER_X64_H
+#define TRACEJIT_JIT_COMPILER_X64_H
+
+#include <cstdint>
+#include <string>
+
+#include "jit/execmem.h"
+#include "jit/fragment.h"
+
+namespace tracejit {
+
+struct VMContext;
+
+class NativeBackend {
+public:
+  NativeBackend();
+
+  /// False when executable memory is unavailable (hardened kernels); the
+  /// engine then falls back to the LIR-executor backend.
+  bool valid() const { return Ready; }
+
+  /// Compile \p F->Body into native code; fills F->NativeEntry and each
+  /// exit's PatchAddr. Returns false (leaving the fragment uncompiled) on
+  /// overflow or unsupported input.
+  bool compile(Fragment *F, VMContext *Ctx);
+
+  /// Run a compiled fragment on \p Tar; returns the taken exit.
+  ExitDescriptor *enter(void *Tar, Fragment *F) {
+    return Trampoline(Tar, F->NativeEntry);
+  }
+
+  /// Stitch: retarget \p E's exit stub to jump directly into \p Target
+  /// (which must be compiled). Also records E->Target.
+  void patchExitTo(ExitDescriptor *E, Fragment *Target);
+
+  ExecMemPool &pool() { return Pool; }
+
+  /// Address generated code uses to reenter the trampoline for nested tree
+  /// calls.
+  void *trampolineAddr() const { return (void *)Trampoline; }
+
+  /// Shared exit epilogue all exit stubs jump to.
+  uint8_t *sharedEpilogue() const { return SharedEpilogue; }
+
+private:
+  using EnterFn = ExitDescriptor *(*)(void *Tar, const uint8_t *Code);
+
+  void emitRuntimeStubs();
+
+  ExecMemPool Pool;
+  EnterFn Trampoline = nullptr;
+  uint8_t *SharedEpilogue = nullptr;
+  bool Ready = false;
+
+  friend class FragmentCompiler;
+};
+
+/// Size of the shared spill area. 4104 (not 4096) keeps RSP 16-byte
+/// aligned at in-fragment call sites given the trampoline's six pushes.
+constexpr int32_t SpillAreaBytes = 4104;
+constexpr int32_t MaxSpillSlots = SpillAreaBytes / 8 - 1;
+
+} // namespace tracejit
+
+#endif // TRACEJIT_JIT_COMPILER_X64_H

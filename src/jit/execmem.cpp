@@ -1,0 +1,31 @@
+//===- execmem.cpp - Executable code memory -----------------------------------===//
+
+#include "jit/execmem.h"
+
+#include <sys/mman.h>
+
+namespace tracejit {
+
+ExecMemPool::ExecMemPool(size_t Bytes) {
+  void *P = mmap(nullptr, Bytes, PROT_READ | PROT_WRITE | PROT_EXEC,
+                 MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  if (P == MAP_FAILED)
+    return;
+  Base = static_cast<uint8_t *>(P);
+  Cap = Bytes;
+}
+
+ExecMemPool::~ExecMemPool() {
+  if (Base)
+    munmap(Base, Cap);
+}
+
+uint8_t *ExecMemPool::allocate(size_t Bytes) {
+  size_t Aligned = (Used + 15) & ~(size_t)15;
+  if (Aligned + Bytes > Cap)
+    return nullptr;
+  Used = Aligned + Bytes;
+  return Base + Aligned;
+}
+
+} // namespace tracejit

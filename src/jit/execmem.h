@@ -1,0 +1,42 @@
+//===- execmem.h - Executable code memory ------------------------------------===//
+//
+// One contiguous reservation for all generated code ("the trace cache" code
+// side). A single pool keeps every fragment within rel32 range of every
+// other, so trace stitching can patch a side-exit stub into a direct
+// 5-byte jump to the branch fragment (§6.2).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef TRACEJIT_JIT_EXECMEM_H
+#define TRACEJIT_JIT_EXECMEM_H
+
+#include <cstddef>
+#include <cstdint>
+
+namespace tracejit {
+
+class ExecMemPool {
+public:
+  /// Reserve \p Bytes of RWX memory. Check valid() before use.
+  explicit ExecMemPool(size_t Bytes = 32 * 1024 * 1024);
+  ~ExecMemPool();
+  ExecMemPool(const ExecMemPool &) = delete;
+  ExecMemPool &operator=(const ExecMemPool &) = delete;
+
+  bool valid() const { return Base != nullptr; }
+
+  /// Bump-allocate \p Bytes (16-byte aligned); nullptr when exhausted.
+  uint8_t *allocate(size_t Bytes);
+
+  size_t used() const { return Used; }
+  size_t capacity() const { return Cap; }
+
+private:
+  uint8_t *Base = nullptr;
+  size_t Cap = 0;
+  size_t Used = 0;
+};
+
+} // namespace tracejit
+
+#endif // TRACEJIT_JIT_EXECMEM_H

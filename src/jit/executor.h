@@ -1,0 +1,34 @@
+//===- executor.h - Portable LIR executor backend ------------------------------===//
+//
+// A reference implementation of fragment execution: interprets the LIR
+// body directly. Used (a) as a portable backend on hosts without x86-64
+// codegen, and (b) for differential testing -- the native compiler must
+// produce exactly the behavior this executor defines.
+//
+// Fragment transfer semantics mirror the native backend: Loop restarts the
+// body, a guard whose exit was stitched (Exit->Target) transfers into the
+// branch fragment, JmpFrag tail-jumps, and TreeCall runs the inner tree and
+// compares its exit against the expectation.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef TRACEJIT_JIT_EXECUTOR_H
+#define TRACEJIT_JIT_EXECUTOR_H
+
+#include <cstdint>
+
+#include "jit/fragment.h"
+
+namespace tracejit {
+
+struct VMContext;
+
+class LirExecutor {
+public:
+  /// Execute \p F against the TAR at \p Tar. Returns the exit taken.
+  static ExitDescriptor *run(Fragment *F, uint8_t *Tar, VMContext *Ctx);
+};
+
+} // namespace tracejit
+
+#endif // TRACEJIT_JIT_EXECUTOR_H

@@ -1,0 +1,159 @@
+//===- backward.cpp - Dead store and dead code elimination -------------------===//
+
+#include "lir/backward.h"
+
+#include <unordered_set>
+
+#include "jit/fragment.h"
+
+namespace tracejit {
+
+static bool isTarBase(const LIns *Base) { return Base->Op == LOp::ParamTar; }
+
+uint32_t eliminateDeadStores(std::vector<LIns *> &Body, uint32_t NumGlobals) {
+  // Determine the slot-domain size.
+  uint32_t MaxSlot = 0;
+  auto NoteSlot = [&](uint32_t S) {
+    if (S > MaxSlot)
+      MaxSlot = S;
+  };
+  std::vector<uint32_t> TarLoadSlots;
+  for (LIns *I : Body) {
+    if (I->isLoad() && isTarBase(I->A)) {
+      uint32_t S = (uint32_t)(I->Disp / 8);
+      NoteSlot(S + 1);
+      TarLoadSlots.push_back(S);
+    } else if (I->isStore() && isTarBase(I->B)) {
+      NoteSlot((uint32_t)(I->Disp / 8) + 1);
+    } else if (I->Exit) {
+      NoteSlot(NumGlobals + I->Exit->Sp);
+    } else if (I->Op == LOp::JmpFrag || I->Op == LOp::TreeCall) {
+      NoteSlot(I->Target->EntryTypes.size());
+    }
+  }
+
+  std::vector<bool> Live(MaxSlot, false);
+  auto LiveRange = [&](uint32_t End) {
+    if (End > Live.size())
+      End = (uint32_t)Live.size();
+    for (uint32_t S = 0; S < End; ++S)
+      Live[S] = true;
+  };
+
+  uint32_t Removed = 0;
+  for (size_t K = Body.size(); K-- > 0;) {
+    LIns *I = Body[K];
+    switch (I->Op) {
+    case LOp::Loop:
+      // The next iteration re-imports everything the trace loads from the
+      // TAR anywhere in its body.
+      for (uint32_t S : TarLoadSlots)
+        if (S < Live.size())
+          Live[S] = true;
+      break;
+    case LOp::JmpFrag:
+      // The target fragment imports from its whole entry type map.
+      LiveRange(I->Target->EntryTypes.size());
+      break;
+    case LOp::TreeCall:
+      // The inner tree reads its entry slots; it may also write slots, but
+      // treating those as live is conservative and safe.
+      LiveRange(I->Target->EntryTypes.size());
+      if (I->Exit)
+        LiveRange(NumGlobals + I->Exit->Sp);
+      break;
+    case LOp::GuardT:
+    case LOp::GuardF:
+    case LOp::AddOvI:
+    case LOp::SubOvI:
+    case LOp::MulOvI:
+    case LOp::Exit:
+      if (I->Exit)
+        LiveRange(NumGlobals + I->Exit->Sp);
+      break;
+    case LOp::StI:
+    case LOp::StQ:
+    case LOp::StD: {
+      if (!isTarBase(I->B))
+        break; // heap store: always observable
+      uint32_t S = (uint32_t)(I->Disp / 8);
+      if (S >= Live.size() || !Live[S]) {
+        Body.erase(Body.begin() + (long)K);
+        ++Removed;
+        break;
+      }
+      Live[S] = false; // this store satisfies later reads
+      break;
+    }
+    case LOp::LdI:
+    case LOp::LdQ:
+    case LOp::LdD:
+    case LOp::LdUB:
+      if (isTarBase(I->A)) {
+        uint32_t S = (uint32_t)(I->Disp / 8);
+        if (S < Live.size())
+          Live[S] = true;
+      }
+      break;
+    default:
+      break;
+    }
+  }
+  return Removed;
+}
+
+uint32_t eliminateDeadCode(std::vector<LIns *> &Body) {
+  std::unordered_set<const LIns *> Marked;
+  auto Mark = [&](auto &&Self, LIns *I) -> void {
+    if (!I || Marked.count(I))
+      return;
+    Marked.insert(I);
+    // Stores keep A (value) and B (base); others keep operands as defined.
+    Self(Self, I->A);
+    Self(Self, I->B);
+    for (uint32_t K = 0; K < I->NCallArgs; ++K)
+      Self(Self, I->CallArgs[K]);
+  };
+
+  for (LIns *I : Body) {
+    bool Root = false;
+    switch (I->Op) {
+    case LOp::StI:
+    case LOp::StQ:
+    case LOp::StD:
+    case LOp::GuardT:
+    case LOp::GuardF:
+    case LOp::AddOvI:
+    case LOp::SubOvI:
+    case LOp::MulOvI:
+    case LOp::Exit:
+    case LOp::TreeCall:
+    case LOp::Loop:
+    case LOp::JmpFrag:
+      Root = true;
+      break;
+    case LOp::Call:
+      Root = !I->CI->Pure;
+      break;
+    default:
+      break;
+    }
+    if (Root)
+      Mark(Mark, I);
+  }
+
+  uint32_t Removed = 0;
+  std::vector<LIns *> Kept;
+  Kept.reserve(Body.size());
+  for (LIns *I : Body) {
+    if (Marked.count(I) || I->Op == LOp::ParamTar) {
+      Kept.push_back(I);
+    } else {
+      ++Removed;
+    }
+  }
+  Body.swap(Kept);
+  return Removed;
+}
+
+} // namespace tracejit

@@ -1,0 +1,45 @@
+//===- backward.h - Backward LIR filters -------------------------------------===//
+//
+// The paper's backward filter pipeline (§5.1):
+//   * Dead data-stack store elimination -- stores into the trace activation
+//     record that no later exit or load can observe are dead. "Stores to
+//     locations that are off the top of the interpreter stack at future
+//     exits are also dead."
+//   * Dead call-stack store elimination -- the same analysis applied to the
+//     slots of inlined call frames (in our unified TAR layout these are
+//     simply higher slot indices, so one analysis covers both).
+//   * Dead code elimination -- removes operations whose values are never
+//     used.
+//
+// The paper streams these through a backward reader into the code
+// generator; we run them as two in-place passes over the finished buffer
+// before compilation, which computes the same result.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef TRACEJIT_LIR_BACKWARD_H
+#define TRACEJIT_LIR_BACKWARD_H
+
+#include <cstdint>
+#include <vector>
+
+#include "lir/lir.h"
+
+namespace tracejit {
+
+struct BackwardFilterResult {
+  uint32_t StoresRemoved = 0;
+  uint32_t InsnsRemoved = 0;
+};
+
+/// Remove dead TAR stores. \p NumGlobals sizes the globals area of the
+/// type-map slot domain (exit liveness is [0, NumGlobals + exit->Sp)).
+uint32_t eliminateDeadStores(std::vector<LIns *> &Body, uint32_t NumGlobals);
+
+/// Remove instructions whose results are unused and that have no side
+/// effects.
+uint32_t eliminateDeadCode(std::vector<LIns *> &Body);
+
+} // namespace tracejit
+
+#endif // TRACEJIT_LIR_BACKWARD_H

@@ -1,0 +1,95 @@
+//===- filters.h - Forward LIR filter pipeline -------------------------------===//
+//
+// "We implemented the optimizations as pipelined filters so that they can
+// be turned on and off independently, and yet all run in just two loop
+// passes over the trace: one forward and one backward." (§5.1)
+//
+// Forward filters (this file) run as the recorder emits; they see each
+// instruction before it reaches the buffer:
+//   * ExprFilter -- constant folding, algebraic identities, and the
+//     source-language-specific INT/DOUBLE narrowing (D2I(I2D(x)) => x).
+//   * CseFilter -- common subexpression elimination over pure ops, loads
+//     (invalidated by stores/calls), and redundant guards on
+//     already-guarded conditions.
+//
+// Backward filters live in backward.h.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef TRACEJIT_LIR_FILTERS_H
+#define TRACEJIT_LIR_FILTERS_H
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "lir/lir.h"
+
+namespace tracejit {
+
+/// Expression simplification: constant folding plus algebraic identities.
+class ExprFilter : public LirWriter {
+public:
+  explicit ExprFilter(LirWriter *Out) : LirWriter(Out) {}
+
+  LIns *ins1(LOp Op, LIns *A) override;
+  LIns *ins2(LOp Op, LIns *A, LIns *B) override;
+  LIns *insGuard(LOp Op, LIns *Cond, ExitDescriptor *Exit) override;
+  LIns *insOvf(LOp Op, LIns *A, LIns *B, ExitDescriptor *Exit) override;
+};
+
+/// Common subexpression elimination. Pure expressions are hashed on
+/// (op, operands, immediate); loads additionally participate until any
+/// store or impure call invalidates them; duplicate guards on a condition
+/// already guarded with the same polarity are dropped.
+class CseFilter : public LirWriter {
+public:
+  explicit CseFilter(LirWriter *Out) : LirWriter(Out) {}
+
+  LIns *ins1(LOp Op, LIns *A) override;
+  LIns *ins2(LOp Op, LIns *A, LIns *B) override;
+  LIns *insImmI(int32_t V) override;
+  LIns *insImmQ(int64_t V) override;
+  LIns *insImmD(double V) override;
+  LIns *insLoad(LOp Op, LIns *Base, int32_t Disp) override;
+  LIns *insStore(LOp Op, LIns *Val, LIns *Base, int32_t Disp) override;
+  LIns *insCall(const CallInfo *CI, LIns **Args, uint32_t N) override;
+  LIns *insGuard(LOp Op, LIns *Cond, ExitDescriptor *Exit) override;
+  LIns *insTreeCall(Fragment *Inner, ExitDescriptor *Expected,
+                    ExitDescriptor *MismatchExit) override;
+  LIns *insLoop() override;
+
+  uint64_t hits() const { return Hits; }
+
+private:
+  struct Key {
+    uint32_t Op;
+    uint64_t A;
+    uint64_t B;
+    int64_t Extra;
+    bool operator==(const Key &O) const {
+      return Op == O.Op && A == O.A && B == O.B && Extra == O.Extra;
+    }
+  };
+  struct KeyHash {
+    size_t operator()(const Key &K) const {
+      uint64_t H = K.Op * 0x9E3779B97F4A7C15ULL;
+      H ^= K.A + 0x9E3779B97F4A7C15ULL + (H << 6) + (H >> 2);
+      H ^= K.B + 0x9E3779B97F4A7C15ULL + (H << 6) + (H >> 2);
+      H ^= (uint64_t)K.Extra + (H << 6) + (H >> 2);
+      return (size_t)H;
+    }
+  };
+
+  LIns *lookupOrInsert(const Key &K, LIns *Candidate);
+  void invalidateLoads();
+
+  std::unordered_map<Key, LIns *, KeyHash> Exprs;
+  std::unordered_map<Key, LIns *, KeyHash> Loads;
+  /// (condition id, polarity) pairs already guarded.
+  std::unordered_set<uint64_t> GuardedConds;
+  uint64_t Hits = 0;
+};
+
+} // namespace tracejit
+
+#endif // TRACEJIT_LIR_FILTERS_H

@@ -1,0 +1,31 @@
+//===- arena.cpp - Bump-pointer arena allocator ---------------------------===//
+
+#include "support/arena.h"
+
+#include <cstdlib>
+
+namespace tracejit {
+
+void Arena::grow(size_t Need) {
+  size_t Size = NextChunkSize;
+  if (Size < Need)
+    Size = Need;
+  NextChunkSize = NextChunkSize * 2;
+  if (NextChunkSize > 1024 * 1024)
+    NextChunkSize = 1024 * 1024;
+  char *Chunk = static_cast<char *>(std::malloc(Size));
+  Chunks.push_back(Chunk);
+  Cur = reinterpret_cast<uintptr_t>(Chunk);
+  End = Cur + Size;
+}
+
+void Arena::reset() {
+  for (char *C : Chunks)
+    std::free(C);
+  Chunks.clear();
+  Cur = End = 0;
+  NextChunkSize = 16 * 1024;
+  TotalAllocated = 0;
+}
+
+} // namespace tracejit

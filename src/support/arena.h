@@ -1,0 +1,74 @@
+//===- arena.h - Bump-pointer arena allocator -----------------------------===//
+//
+// Part of tracejit, a reproduction of "Trace-based Just-in-Time Type
+// Specialization for Dynamic Languages" (Gal et al., PLDI 2009).
+//
+//===----------------------------------------------------------------------===//
+//
+// LIR instructions, shapes, and other compile-time-ish data structures are
+// allocated from arenas so that whole traces can be discarded in O(1).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef TRACEJIT_SUPPORT_ARENA_H
+#define TRACEJIT_SUPPORT_ARENA_H
+
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <vector>
+
+namespace tracejit {
+
+/// A simple bump-pointer arena. Individual objects are never freed; the
+/// whole arena is released at once. Objects allocated here must be
+/// trivially destructible (the arena never runs destructors).
+class Arena {
+public:
+  Arena() = default;
+  Arena(const Arena &) = delete;
+  Arena &operator=(const Arena &) = delete;
+  ~Arena() { reset(); }
+
+  /// Allocate \p Size bytes aligned to \p Align.
+  void *allocate(size_t Size, size_t Align = alignof(std::max_align_t)) {
+    uintptr_t P = (Cur + Align - 1) & ~(uintptr_t)(Align - 1);
+    if (P + Size > End) {
+      grow(Size + Align);
+      P = (Cur + Align - 1) & ~(uintptr_t)(Align - 1);
+    }
+    Cur = P + Size;
+    TotalAllocated += Size;
+    return reinterpret_cast<void *>(P);
+  }
+
+  /// Allocate and default-construct a \p T.
+  template <typename T, typename... Args> T *make(Args &&...A) {
+    void *P = allocate(sizeof(T), alignof(T));
+    return new (P) T(static_cast<Args &&>(A)...);
+  }
+
+  /// Allocate an uninitialized array of \p N elements of \p T.
+  template <typename T> T *makeArray(size_t N) {
+    return static_cast<T *>(allocate(sizeof(T) * N, alignof(T)));
+  }
+
+  /// Release all memory.
+  void reset();
+
+  /// Total bytes handed out since construction or the last reset.
+  size_t bytesAllocated() const { return TotalAllocated; }
+
+private:
+  void grow(size_t Need);
+
+  std::vector<char *> Chunks;
+  uintptr_t Cur = 0;
+  uintptr_t End = 0;
+  size_t NextChunkSize = 16 * 1024;
+  size_t TotalAllocated = 0;
+};
+
+} // namespace tracejit
+
+#endif // TRACEJIT_SUPPORT_ARENA_H

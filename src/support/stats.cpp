@@ -1,0 +1,65 @@
+//===- stats.cpp - VM activity counters and timers ------------------------===//
+
+#include "support/stats.h"
+
+#include <cstdio>
+
+namespace tracejit {
+
+const char *activityName(Activity A) {
+  switch (A) {
+  case Activity::Interpret:
+    return "interpret";
+  case Activity::Monitor:
+    return "monitor";
+  case Activity::RecordInterpret:
+    return "record";
+  case Activity::Compile:
+    return "compile";
+  case Activity::Native:
+    return "native";
+  case Activity::ExitOverhead:
+    return "exit-overhead";
+  case Activity::NumActivities:
+    break;
+  }
+  return "?";
+}
+
+std::string VMStats::report() const {
+  char Buf[512];
+  std::string Out;
+  snprintf(Buf, sizeof(Buf),
+           "bytecodes: interpreted=%llu recorded=%llu native=%llu\n",
+           (unsigned long long)BytecodesInterpreted,
+           (unsigned long long)BytecodesRecorded,
+           (unsigned long long)BytecodesNative);
+  Out += Buf;
+  snprintf(Buf, sizeof(Buf),
+           "traces: started=%llu completed=%llu aborted=%llu trees=%llu "
+           "branches=%llu\n",
+           (unsigned long long)TracesStarted,
+           (unsigned long long)TracesCompleted,
+           (unsigned long long)TracesAborted, (unsigned long long)TreesCompiled,
+           (unsigned long long)BranchesCompiled);
+  Out += Buf;
+  snprintf(Buf, sizeof(Buf),
+           "transfers: enters=%llu exits=%llu stitched=%llu treecalls=%llu "
+           "unstable-links=%llu blacklisted=%llu\n",
+           (unsigned long long)TraceEnters, (unsigned long long)SideExits,
+           (unsigned long long)StitchedTransfers,
+           (unsigned long long)TreeCalls, (unsigned long long)UnstableLinks,
+           (unsigned long long)LoopsBlacklisted);
+  Out += Buf;
+  double Total = totalSeconds();
+  for (size_t I = 0; I < (size_t)Activity::NumActivities; ++I) {
+    double S = ActivitySeconds[I];
+    snprintf(Buf, sizeof(Buf), "time %-14s %8.3f ms (%5.1f%%)\n",
+             activityName((Activity)I), S * 1e3,
+             Total > 0 ? 100.0 * S / Total : 0.0);
+    Out += Buf;
+  }
+  return Out;
+}
+
+} // namespace tracejit

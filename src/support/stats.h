@@ -1,0 +1,129 @@
+//===- stats.h - VM activity counters and timers --------------------------===//
+//
+// Counters and per-activity timers backing the paper's Figure 11 (fraction
+// of bytecodes executed by interpreter vs. native traces) and Figure 12
+// (fraction of runtime per VM activity, keyed to the Figure 2 state
+// machine).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef TRACEJIT_SUPPORT_STATS_H
+#define TRACEJIT_SUPPORT_STATS_H
+
+#include <array>
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace tracejit {
+
+/// The activities of the Figure 2 state machine. `Native` is the dark box;
+/// `Interpret` and `RecordInterpret` are the light gray boxes; the rest is
+/// overhead (white boxes).
+enum class Activity : uint8_t {
+  Interpret,       ///< Standard bytecode interpretation.
+  Monitor,         ///< Trace monitor decisions at loop edges.
+  RecordInterpret, ///< Interpreting while the recorder shadows execution.
+  Compile,         ///< LIR filtering + native code generation.
+  Native,          ///< Executing compiled traces.
+  ExitOverhead,    ///< Boxing values and rebuilding interpreter state on exit.
+  NumActivities
+};
+
+const char *activityName(Activity A);
+
+/// Aggregated counters/timers for one Engine. All counting is optional and
+/// gated by Engine options so Figure 10 timing runs pay nothing for it.
+struct VMStats {
+  // --- Figure 11 counters -------------------------------------------------
+  uint64_t BytecodesInterpreted = 0;
+  uint64_t BytecodesRecorded = 0;
+  /// Bytecodes covered by native execution: sum over fragments of
+  /// (iterations executed * bytecodes recorded in the fragment body).
+  uint64_t BytecodesNative = 0;
+
+  // --- Trace lifecycle counters -------------------------------------------
+  uint64_t TracesStarted = 0;
+  uint64_t TracesCompleted = 0;
+  uint64_t TracesAborted = 0;
+  uint64_t TreesCompiled = 0;
+  uint64_t BranchesCompiled = 0;
+  uint64_t SideExits = 0;
+  uint64_t TreeCalls = 0;
+  uint64_t LoopsBlacklisted = 0;
+  uint64_t TraceEnters = 0;
+  uint64_t StitchedTransfers = 0;
+  uint64_t UnstableLinks = 0;
+  uint64_t OracleDemotions = 0;
+  uint64_t GCs = 0;
+
+  // --- LIR pipeline counters ----------------------------------------------
+  uint64_t LirEmitted = 0;
+  uint64_t LirAfterForwardFilters = 0;
+  uint64_t LirAfterBackwardFilters = 0;
+
+  // --- Figure 12 timers ----------------------------------------------------
+  std::array<double, (size_t)Activity::NumActivities> ActivitySeconds{};
+
+  /// The currently-charged activity (Fig. 2 state machine position).
+  Activity Current = Activity::Interpret;
+  std::chrono::steady_clock::time_point LastStamp{};
+  bool TimingActive = false;
+
+  /// Transition the state machine: charge elapsed time to the previous
+  /// activity and start charging \p A.
+  Activity switchTo(Activity A) {
+    auto Now = std::chrono::steady_clock::now();
+    if (TimingActive)
+      ActivitySeconds[(size_t)Current] +=
+          std::chrono::duration<double>(Now - LastStamp).count();
+    Activity Prev = Current;
+    Current = A;
+    LastStamp = Now;
+    TimingActive = true;
+    return Prev;
+  }
+  void stopTiming() {
+    if (TimingActive)
+      switchTo(Current);
+    TimingActive = false;
+  }
+
+  void reset() { *this = VMStats(); }
+
+  double totalSeconds() const {
+    double T = 0;
+    for (double S : ActivitySeconds)
+      T += S;
+    return T;
+  }
+
+  /// Render a multi-line human-readable report.
+  std::string report() const;
+};
+
+/// Scoped activity switch: charges wall-clock time to one activity while in
+/// scope and restores the previous activity on destruction. Nesting follows
+/// the Fig. 2 state machine: exactly one activity is charged at a time.
+class ActivityScope {
+public:
+  ActivityScope(VMStats &S, Activity A, bool Enabled) : Stats(S), On(Enabled) {
+    if (On)
+      Prev = Stats.switchTo(A);
+  }
+  ~ActivityScope() {
+    if (On)
+      Stats.switchTo(Prev);
+  }
+  ActivityScope(const ActivityScope &) = delete;
+  ActivityScope &operator=(const ActivityScope &) = delete;
+
+private:
+  VMStats &Stats;
+  bool On;
+  Activity Prev = Activity::Interpret;
+};
+
+} // namespace tracejit
+
+#endif // TRACEJIT_SUPPORT_STATS_H

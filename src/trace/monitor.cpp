@@ -1,0 +1,667 @@
+//===- monitor.cpp - The trace monitor (Fig. 2 state machine) -------------------===//
+
+#include "trace/monitor.h"
+
+#include <cassert>
+#include <cstdio>
+
+#include "api/engine.h"
+#include "interp/natives.h"
+#include "jit/executor.h"
+#include "lir/backward.h"
+#include "trace/helpers.h"
+
+namespace tracejit {
+
+TraceMonitorImpl::TraceMonitorImpl(VMContext &C, Interpreter &I)
+    : Ctx(C), Interp(I) {
+  if (Ctx.Opts.JitBackend == Backend::Native) {
+    Native = std::make_unique<NativeBackend>();
+    if (!Native->valid())
+      Native.reset(); // fall back to the LIR executor
+  }
+  // Root everything compiled traces point at (§6: the trace cache keeps
+  // its embedded objects alive).
+  Ctx.TheHeap.addRootProvider([this](Marker &M) {
+    for (auto &F : Fragments)
+      for (Value &V : F->EmbeddedRoots)
+        M.markValue(V);
+  });
+}
+
+TraceMonitorImpl::~TraceMonitorImpl() = default;
+
+VMStats &TraceMonitorImpl::stats() { return Ctx.Stats; }
+
+Fragment *TraceMonitorImpl::newFragment(FragmentKind K) {
+  auto F = std::make_unique<Fragment>();
+  F->Id = NextFragmentId++;
+  F->Kind = K;
+  Fragment *P = F.get();
+  Fragments.push_back(std::move(F));
+  return P;
+}
+
+const CallInfo *TraceMonitorImpl::mathCallInfo(NativeFn Boxed) {
+  auto It = MathCIs.find(Boxed);
+  if (It != MathCIs.end())
+    return It->second.get();
+  const TraceableNative *TN = lookupTraceableNative(Boxed);
+  assert(TN && "not a traceable native");
+  const CallInfo *Proto = TN->Sig == TraceableSig::D_D ? &helperCalls().MathD_D
+                          : TN->Sig == TraceableSig::D_DD
+                              ? &helperCalls().MathD_DD
+                              : &helperCalls().MathD_CTX;
+  auto CI = std::make_unique<CallInfo>(
+      makeMathCallInfo(*Proto, TN->RawFn, TN->Name));
+  const CallInfo *P = CI.get();
+  MathCIs.emplace(Boxed, std::move(CI));
+  return P;
+}
+
+LoopState *TraceMonitorImpl::loopState(FunctionScript *S, uint16_t LoopId) {
+  LoopRecord &L = S->Loops[LoopId];
+  if (!L.State) {
+    auto LS = std::make_unique<LoopState>();
+    LS->Script = S;
+    LS->Loop = &L;
+    L.State = LS.get();
+    LoopStates.push_back(std::move(LS));
+  }
+  return L.State;
+}
+
+uint64_t TraceMonitorImpl::oracleKeyForSlot(
+    uint32_t Slot, const std::vector<FrameEntry> &Frames) {
+  uint32_t NG = Ctx.Globals.size();
+  if (Slot < NG)
+    return Oracle::globalKey(Slot);
+  uint32_t StackIdx = Slot - NG;
+  for (const FrameEntry &F : Frames) {
+    if (StackIdx >= F.Base && StackIdx < F.Base + F.Script->NumLocals)
+      return Oracle::localKey(F.Script->Id, StackIdx - F.Base);
+  }
+  return 0; // operand-stack temporary: not oracle-tracked
+}
+
+// --- Entry type maps and TAR transfer -----------------------------------------------
+
+TypeMap TraceMonitorImpl::buildEntryTypeMap(uint32_t Sp) {
+  TypeMap M;
+  M.NumGlobals = Ctx.Globals.size();
+  M.Types.resize(M.NumGlobals + Sp);
+  std::vector<FrameEntry> Frames;
+  for (const Frame &F : Interp.frames())
+    Frames.push_back({F.Script, F.Base, F.ReturnPc});
+
+  bool UseOracle = Ctx.Opts.EnableOracle;
+  for (uint32_t G = 0; G < M.NumGlobals; ++G) {
+    TraceType T = traceTypeOf(Ctx.Globals.Values[G]);
+    if (UseOracle && T == TraceType::Int &&
+        TheOracle.isDemoted(Oracle::globalKey(G)))
+      T = TraceType::Double;
+    M.Types[G] = T;
+  }
+  Value *Stack = Interp.stackData();
+  for (uint32_t I = 0; I < Sp; ++I) {
+    TraceType T = traceTypeOf(Stack[I]);
+    if (UseOracle && T == TraceType::Int) {
+      uint64_t Key = oracleKeyForSlot(M.NumGlobals + I, Frames);
+      if (Key && TheOracle.isDemoted(Key))
+        T = TraceType::Double;
+    }
+    M.Types[M.NumGlobals + I] = T;
+  }
+  return M;
+}
+
+static uint64_t unboxForTar(const Value &V, TraceType T) {
+  switch (T) {
+  case TraceType::Int:
+    return (uint64_t)(uint32_t)V.toInt();
+  case TraceType::Double: {
+    double D = V.numberValue(); // int values demoted by the oracle convert
+    uint64_t W;
+    __builtin_memcpy(&W, &D, 8);
+    return W;
+  }
+  case TraceType::Object:
+    return (uint64_t)(uintptr_t)V.toObject();
+  case TraceType::String:
+    return (uint64_t)(uintptr_t)V.toString();
+  case TraceType::Boolean:
+    return V.toBoolean() ? 1 : 0;
+  case TraceType::Null:
+  case TraceType::Undefined:
+    return 0;
+  }
+  return 0;
+}
+
+static Value boxFromTar(VMContext &Ctx, uint64_t W, TraceType T) {
+  switch (T) {
+  case TraceType::Int:
+    return Value::makeInt((int32_t)(uint32_t)W);
+  case TraceType::Double: {
+    double D;
+    __builtin_memcpy(&D, &W, 8);
+    return Ctx.TheHeap.boxDouble(D);
+  }
+  case TraceType::Object:
+    return Value::makeObject((Object *)(uintptr_t)W);
+  case TraceType::String:
+    return Value::makeString((String *)(uintptr_t)W);
+  case TraceType::Boolean:
+    return Value::makeBoolean((W & 0xffffffff) != 0);
+  case TraceType::Null:
+    return Value::null();
+  case TraceType::Undefined:
+    return Value::undefined();
+  }
+  return Value::undefined();
+}
+
+void TraceMonitorImpl::fillTar(const TypeMap &Types, uint32_t Sp) {
+  uint64_t *Tar = reinterpret_cast<uint64_t *>(TarBuffer.data());
+  uint32_t NG = Types.NumGlobals;
+  for (uint32_t G = 0; G < NG; ++G)
+    Tar[G] = unboxForTar(Ctx.Globals.Values[G], Types.Types[G]);
+  Value *Stack = Interp.stackData();
+  for (uint32_t I = 0; I < Sp; ++I)
+    Tar[NG + I] = unboxForTar(Stack[I], Types.Types[NG + I]);
+}
+
+void TraceMonitorImpl::restoreFromExit(ExitDescriptor *E) {
+  const uint64_t *Tar = reinterpret_cast<const uint64_t *>(TarBuffer.data());
+  uint32_t NG = E->Types.NumGlobals;
+
+  // "It pops or synthesizes interpreter JavaScript call stack frames as
+  // needed. Finally, it copies the imported variables back from the trace
+  // activation record to the interpreter state." (§6.1)
+  // Scripts and bases are static per descriptor; return pcs come from the
+  // dynamic call-stack area so traces entered from different call sites
+  // resume at the right place.
+  auto &Frames = Interp.frames();
+  Frames.clear();
+  for (size_t D = 0; D < E->Frames.size(); ++D) {
+    const FrameEntry &F = E->Frames[D];
+    uint32_t Rp = D == 0 ? F.ReturnPc : Ctx.FrameReturnPcs[D];
+    Frames.push_back({F.Script, F.Base, Rp});
+  }
+  Interp.setStackTop(E->Sp);
+  Interp.setCurrentPc(E->Pc);
+
+  for (uint32_t G = 0; G < NG; ++G)
+    Ctx.Globals.Values[G] = boxFromTar(Ctx, Tar[G], E->Types.Types[G]);
+  Value *Stack = Interp.stackData();
+  for (uint32_t I = 0; I < E->Sp; ++I)
+    Stack[I] = boxFromTar(Ctx, Tar[NG + I], E->Types.Types[NG + I]);
+}
+
+ExitDescriptor *TraceMonitorImpl::executeFragment(Fragment *Frag) {
+  bool Stats = Ctx.Opts.CollectStats;
+  // Size the TAR generously: any fragment reachable from Frag (branches,
+  // peers, nested trees) fits below the monitor-wide maximum.
+  uint32_t Slots = 64;
+  for (auto &F : Fragments)
+    if (F->RequiredTarSlots > Slots)
+      Slots = F->RequiredTarSlots;
+  if (TarBuffer.size() < (size_t)(Slots + 64) * 8)
+    TarBuffer.resize((size_t)(Slots + 64) * 8);
+
+  uint32_t Sp = Interp.stackTop();
+  fillTar(Frag->EntryTypes, Sp);
+
+  // Seed the dynamic call-stack area with the live frames' return pcs.
+  {
+    auto &Frames = Interp.frames();
+    for (size_t D = 0; D < Frames.size() && D < Ctx.FrameReturnPcs.size();
+         ++D)
+      Ctx.FrameReturnPcs[D] = Frames[D].ReturnPc;
+  }
+
+  if (Stats)
+    Ctx.Stats.switchTo(Activity::Native);
+  Ctx.OnTrace = true;
+  ExitDescriptor *E;
+  if (Frag->NativeEntry && Native)
+    E = Native->enter(TarBuffer.data(), Frag);
+  else
+    E = LirExecutor::run(Frag, TarBuffer.data(), &Ctx);
+  Ctx.OnTrace = false;
+  if (Stats)
+    Ctx.Stats.switchTo(Activity::ExitOverhead);
+
+  ++Ctx.Stats.TraceEnters;
+  ++Ctx.Stats.SideExits;
+  if (E && E->Kind == ExitKind::Nested) {
+    assert(Ctx.LastNestedExit && "nested exit without inner descriptor");
+    E = Ctx.LastNestedExit;
+    Ctx.LastNestedExit = nullptr;
+  }
+  assert(E && "fragment returned no exit");
+  ++E->Hits;
+
+  restoreFromExit(E);
+  if (Stats)
+    Ctx.Stats.switchTo(Activity::Monitor);
+  return E;
+}
+
+// --- Recording lifecycle -----------------------------------------------------------------
+
+void TraceMonitorImpl::startRecording(TraceRecorder::Mode Mode, LoopState *LS,
+                                      FunctionScript *Script,
+                                      uint32_t AnchorPc,
+                                      ExitDescriptor *AnchorExit) {
+  assert(!Recorder);
+  Fragment *F = newFragment(Mode == TraceRecorder::Mode::Root
+                                ? FragmentKind::Root
+                                : FragmentKind::Branch);
+  F->AnchorScript = LS->Script;
+  F->AnchorPc = AnchorPc;
+  F->Loop = LS->Loop;
+  F->EntryTypes =
+      AnchorExit ? AnchorExit->Types : buildEntryTypeMap(Interp.stackTop());
+  F->EntryFrameCount = (uint32_t)Interp.frames().size();
+  for (const Frame &Fr : Interp.frames())
+    F->EntryFrames.push_back({Fr.Script, Fr.Base, 0});
+  if (Mode == TraceRecorder::Mode::Root) {
+    F->Root = F;
+  } else {
+    F->Root = AnchorExit->Parent->Root;
+  }
+  Recorder = std::make_unique<TraceRecorder>(Ctx, Interp, *this, F, Mode,
+                                             LS->Loop, AnchorExit);
+  RecorderLoopState = LS;
+  ++Ctx.Stats.TracesStarted;
+  if (Ctx.Opts.CollectStats)
+    Ctx.Stats.switchTo(Activity::RecordInterpret);
+  (void)Script;
+}
+
+void TraceMonitorImpl::abortRecording(const std::string &Why,
+                                      bool CountsTowardBlacklist) {
+  if (!Recorder)
+    return;
+  ++Ctx.Stats.TracesAborted;
+  LoopState *LS = RecorderLoopState;
+  Fragment *F = Recorder->fragment();
+  bool WasBranch = Recorder->mode() == TraceRecorder::Mode::Branch;
+  F->Body.clear(); // fragment stays allocated (ids/roots) but is inert
+  Recorder.reset();
+  RecorderLoopState = nullptr;
+
+  if (WasBranch) {
+    // Branch failures are tracked per side exit, not per loop: the tree is
+    // already useful and must not be blacklisted wholesale.
+    if (RecorderAnchorExit && CountsTowardBlacklist)
+      ++RecorderAnchorExit->FailedRecordings;
+    RecorderAnchorExit = nullptr;
+    if (Ctx.Opts.CollectStats)
+      Ctx.Stats.switchTo(Activity::Interpret);
+    return;
+  }
+
+  if (LS && Ctx.Opts.EnableBlacklisting) {
+    if (CountsTowardBlacklist) {
+      ++LS->Failures;
+      LS->BackoffUntil = LS->HitCount + Ctx.Opts.BlacklistBackoff;
+      if (LS->Failures >= Ctx.Opts.MaxRecordingFailures)
+        blacklist(LS);
+    } else {
+      // §4.2 forgiveness: aborts caused by a not-yet-ready inner tree are
+      // temporary -- back off briefly so the inner tree can finish, but do
+      // not count toward blacklisting.
+      LS->BackoffUntil = LS->HitCount + 4;
+    }
+  }
+  if (Ctx.Opts.CollectStats)
+    Ctx.Stats.switchTo(Activity::Interpret);
+  (void)Why;
+}
+
+void TraceMonitorImpl::blacklist(LoopState *LS) {
+  if (LS->Blacklisted)
+    return;
+  LS->Blacklisted = true;
+  ++Ctx.Stats.LoopsBlacklisted;
+  // "To blacklist a fragment, we simply replace the loop header no-op with
+  // a regular no-op. Thus, the interpreter will never again even call into
+  // the trace monitor." (§3.3)
+  LS->Script->Code[LS->Loop->HeaderPc] = (uint8_t)Op::Nop3;
+}
+
+void TraceMonitorImpl::linkUnstableExits(LoopState *LS, Fragment *NewPeer) {
+  auto FramesEqual = [&](const ExitDescriptor *E) {
+    if (E->Frames.size() != NewPeer->EntryFrames.size())
+      return false;
+    for (size_t D = 0; D < E->Frames.size(); ++D)
+      if (E->Frames[D].Script != NewPeer->EntryFrames[D].Script ||
+          E->Frames[D].Base != NewPeer->EntryFrames[D].Base)
+        return false;
+    return true;
+  };
+  // Existing unstable tails that match the new peer's entry: link them.
+  for (ExitDescriptor *E : LS->UnstableExits) {
+    if (!E->Target && E->Types == NewPeer->EntryTypes && FramesEqual(E)) {
+      if (Native)
+        Native->patchExitTo(E, NewPeer);
+      else
+        E->Target = NewPeer;
+      ++Ctx.Stats.UnstableLinks;
+    }
+  }
+}
+
+void TraceMonitorImpl::finishRecording(const std::vector<Fragment *> &Peers) {
+  assert(Recorder);
+  LoopState *LS = RecorderLoopState;
+  bool Stats = Ctx.Opts.CollectStats;
+  if (Stats)
+    Ctx.Stats.switchTo(Activity::Compile);
+
+  std::unique_ptr<TraceRecorder> R = std::move(Recorder);
+  RecorderLoopState = nullptr;
+
+  if (R->status() == TraceRecorder::Status::Recording)
+    R->closeLoop(Peers);
+  if (R->status() != TraceRecorder::Status::Finished) {
+    if (Stats)
+      Ctx.Stats.switchTo(Activity::Interpret);
+    Recorder = std::move(R); // restore so abortRecording can bookkeep
+    abortRecording(Recorder->abortReason(), true);
+    return;
+  }
+
+  Fragment *F = R->fragment();
+  Ctx.Stats.LirEmitted += F->Body.size();
+
+  // Backward filter pipeline (§5.1).
+  if (Ctx.Opts.Filters & FilterDeadStore)
+    eliminateDeadStores(F->Body, F->EntryTypes.NumGlobals);
+  Ctx.Stats.LirAfterForwardFilters += F->Body.size();
+  if (Ctx.Opts.Filters & FilterDCE)
+    eliminateDeadCode(F->Body);
+  Ctx.Stats.LirAfterBackwardFilters += F->Body.size();
+
+  if (Ctx.Opts.DumpLIR) {
+    fprintf(stderr, "--- fragment %u (%s) entry %s\n%s", F->Id,
+            F->Kind == FragmentKind::Root ? "root" : "branch",
+            F->EntryTypes.describe().c_str(), formatBody(F->Body).c_str());
+  }
+
+  std::string TypeErr = typecheckBody(F->Body);
+  if (!TypeErr.empty()) {
+    fprintf(stderr, "tracejit: LIR typecheck failed: %s\n", TypeErr.c_str());
+    F->Body.clear();
+    if (Stats)
+      Ctx.Stats.switchTo(Activity::Interpret);
+    return;
+  }
+
+  if (Native) {
+    if (!Native->compile(F, &Ctx)) {
+      // Executor fallback: Body alone is executable.
+      F->NativeEntry = nullptr;
+    } else if (Ctx.Opts.DumpAssembly) {
+      fprintf(stderr, "--- fragment %u native: %u bytes at %p\n", F->Id,
+              F->NativeSize, (void *)F->NativeEntry);
+    }
+  }
+
+  ++Ctx.Stats.TracesCompleted;
+  if (F->Kind == FragmentKind::Root) {
+    ++Ctx.Stats.TreesCompiled;
+    LS->Peers.push_back(F);
+    linkUnstableExits(LS, F);
+    LS->Failures = 0; // forgiveness: the tree is making progress
+  } else {
+    ++Ctx.Stats.BranchesCompiled;
+    // Stitch: patch the parent guard's exit to jump into this branch (§6.2).
+    if (ExitDescriptor *Anchor = RecorderAnchorExit) {
+      if (Native)
+        Native->patchExitTo(Anchor, F);
+      else
+        Anchor->Target = F;
+      ++Ctx.Stats.StitchedTransfers;
+    }
+    RecorderAnchorExit = nullptr;
+  }
+
+  // Register this fragment's unstable tail (if any) for future linking.
+  for (auto &E : F->Exits)
+    if (E->Kind == ExitKind::Unstable)
+      LS->UnstableExits.push_back(E.get());
+  // And try to link it against peers that already exist.
+  for (Fragment *P : LS->Peers)
+    linkUnstableExits(LS, P);
+
+  if (Stats)
+    Ctx.Stats.switchTo(Activity::Interpret);
+}
+
+void TraceMonitorImpl::flushRecorder() {
+  if (Recorder)
+    abortRecording("dispatch unwound while recording", false);
+}
+
+void TraceMonitorImpl::syncStats() {
+  // Figure 11: bytecodes "executed" natively = iterations through each
+  // fragment times the bytecodes one pass covers.
+  uint64_t Native64 = 0;
+  for (auto &F : Fragments)
+    Native64 += F->Iterations * F->BytecodesCovered;
+  Ctx.Stats.BytecodesNative = Native64;
+}
+
+// --- Hooks -------------------------------------------------------------------------------------
+
+void TraceMonitorImpl::recordOp(Interpreter &I, uint32_t Pc) {
+  if (!Recorder)
+    return;
+  Recorder->recordOp(Pc);
+  if (Recorder->status() == TraceRecorder::Status::Aborted) {
+    abortRecording(Recorder->abortReason(), true);
+  } else if (Recorder->status() == TraceRecorder::Status::Finished) {
+    // Trace ended by leaving the loop (LoopExit tail).
+    finishRecording(RecorderLoopState ? RecorderLoopState->Peers
+                                      : std::vector<Fragment *>());
+  }
+}
+
+uint32_t TraceMonitorImpl::handleInnerLoopHeader(uint32_t Pc,
+                                                 uint16_t LoopId) {
+  FunctionScript *S = Interp.currentFrame().Script;
+  LoopState *InnerLS = loopState(S, LoopId);
+
+  if (!Ctx.Opts.EnableNesting) {
+    // Ablation: the "give up on outer loops" strawman (§4, Figure 7).
+    abortRecording("inner loop header (nesting disabled)", true);
+    return Pc; // fall through to normal handling by the caller
+  }
+
+  // §4.1: if the inner loop has a type-matching compiled tree, call it;
+  // otherwise abort the outer recording and let the inner loop be recorded
+  // first. The abort does not count toward blacklisting ("we should not
+  // count such aborts ... as long as we are able to build up more traces
+  // for the inner tree", §4.2).
+  // Type-matching includes Int->Double promotion: the outer trace can
+  // coerce slots the inner tree (after oracle demotion) expects as doubles.
+  Fragment *Inner = nullptr;
+  for (Fragment *P : InnerLS->Peers) {
+    if (!P->Body.empty() && Recorder->framesMatch(P->EntryFrames) &&
+        Recorder->canCoerceTo(P->EntryTypes)) {
+      Inner = P;
+      break;
+    }
+  }
+  if (!Inner) {
+    abortRecording("inner tree not yet compiled", false);
+    return Pc;
+  }
+  Recorder->coerceTo(Inner->EntryTypes);
+
+  size_t DepthBefore = Interp.frames().size();
+  ExitDescriptor *E = executeFragment(Inner);
+
+  bool LeftInnerLoop =
+      E->Frames.size() == DepthBefore &&
+      E->Frames.back().Script == S &&
+      (E->Pc < InnerLS->Loop->HeaderPc || E->Pc >= InnerLS->Loop->EndPc);
+
+  if (E->Kind == ExitKind::Preempt) {
+    abortRecording("preempted while calling inner tree", false);
+    Ctx.servicePreempt();
+    return E->Pc;
+  }
+  if (!LeftInnerLoop) {
+    // The inner tree took a side exit inside the loop: abort the outer
+    // trace and grow the inner tree instead (§4.1).
+    abortRecording("inner tree side exit", false);
+    handleExit(E);
+    return Interp.currentPc();
+  }
+
+  Recorder->recordTreeCall(Inner, E);
+  if (Recorder->status() == TraceRecorder::Status::Aborted)
+    abortRecording(Recorder->abortReason(), true);
+  return E->Pc;
+}
+
+void TraceMonitorImpl::handleExit(ExitDescriptor *E) {
+  if (E->Kind == ExitKind::Preempt) {
+    Ctx.servicePreempt();
+    return;
+  }
+  // Grow the tree at hot side exits (§3.2 "Extending a tree"): only
+  // control-flow/type/overflow exits that stay inside the loop and at the
+  // tree's entry frame depth.
+  if (!Ctx.Opts.EnableStitching)
+    return;
+  if (E->Kind != ExitKind::Branch && E->Kind != ExitKind::Type &&
+      E->Kind != ExitKind::Overflow)
+    return;
+  if (E->Target || E->RecordingBlocked)
+    return;
+  Fragment *Root = E->Parent ? E->Parent->Root : nullptr;
+  if (!Root || !Root->Loop)
+    return;
+  if (E->Frames.size() < Root->EntryFrameCount)
+    return;
+  if (E->Frames.size() == Root->EntryFrameCount &&
+      (E->Frames.back().Script != Root->AnchorScript ||
+       E->Pc < Root->Loop->HeaderPc || E->Pc >= Root->Loop->EndPc))
+    return;
+  if (E->Hits < Ctx.Opts.HotExitThreshold)
+    return;
+  if (E->FailedRecordings >= Ctx.Opts.MaxRecordingFailures) {
+    E->RecordingBlocked = true;
+    return;
+  }
+  if (Recorder)
+    return; // one recorder at a time
+
+  LoopState *LS = loopStateOfRoot(Root);
+  if (!LS)
+    return;
+  RecorderAnchorExit = E;
+  startRecording(TraceRecorder::Mode::Branch, LS, Root->AnchorScript, E->Pc,
+                 E);
+}
+
+LoopState *TraceMonitorImpl::loopStateOfRoot(Fragment *Root) {
+  return Root->Loop ? Root->Loop->State : nullptr;
+}
+
+uint32_t TraceMonitorImpl::onLoopEdge(Interpreter &I, uint32_t Pc,
+                                      uint16_t LoopId) {
+  bool Stats = Ctx.Opts.CollectStats;
+  if (Stats)
+    Ctx.Stats.switchTo(Activity::Monitor);
+  uint32_t NextPc = Pc + 3;
+  FunctionScript *S = I.currentFrame().Script;
+
+  // --- Active recording ------------------------------------------------------
+  if (Recorder) {
+    if (Recorder->atAnchor(Pc)) {
+      LoopState *LS = RecorderLoopState;
+      finishRecording(LS->Peers);
+      // Fall through: the freshly compiled trace may be entered right now.
+    } else {
+      uint32_t R = handleInnerLoopHeader(Pc, LoopId);
+      if (Recorder) {
+        if (Stats)
+          Ctx.Stats.switchTo(Activity::RecordInterpret);
+        return R;
+      }
+      // Recording aborted; continue with normal monitoring of this header.
+      NextPc = R;
+      if (NextPc != Pc) {
+        if (Stats)
+          Ctx.Stats.switchTo(Activity::Interpret);
+        return NextPc;
+      }
+      NextPc = Pc + 3;
+      S = I.currentFrame().Script;
+    }
+  }
+
+  LoopState *LS = loopState(S, LoopId);
+
+  // --- Execute a matching compiled tree -------------------------------------------
+  if (!LS->Peers.empty() && !Recorder) {
+    TypeMap Now = buildEntryTypeMap(I.stackTop());
+    auto FramesMatchLive = [&](Fragment *P) {
+      auto &Frames = I.frames();
+      if (P->EntryFrames.size() != Frames.size())
+        return false;
+      for (size_t D = 0; D < Frames.size(); ++D)
+        if (P->EntryFrames[D].Script != Frames[D].Script ||
+            P->EntryFrames[D].Base != Frames[D].Base)
+          return false;
+      return true;
+    };
+    for (Fragment *P : LS->Peers) {
+      if (P->EntryTypes == Now && !P->Body.empty() && FramesMatchLive(P)) {
+        ExitDescriptor *E = executeFragment(P);
+        handleExit(E);
+        if (Stats)
+          Ctx.Stats.switchTo(Recorder ? Activity::RecordInterpret
+                                      : Activity::Interpret);
+        return Interp.currentPc();
+      }
+    }
+  }
+
+  if (Recorder) {
+    // A branch recording just started inside finishRecording's fallthrough;
+    // keep interpreting under the recorder.
+    if (Stats)
+      Ctx.Stats.switchTo(Activity::RecordInterpret);
+    return NextPc;
+  }
+
+  // --- Hotness counting / starting a tree (§3.2) ------------------------------------
+  ++LS->HitCount;
+  if (LS->Blacklisted || LS->HitCount < Ctx.Opts.HotLoopThreshold ||
+      LS->HitCount < LS->BackoffUntil ||
+      LS->Peers.size() >= MaxPeersPerLoop) {
+    if (Stats)
+      Ctx.Stats.switchTo(Activity::Interpret);
+    return NextPc;
+  }
+
+  RecorderAnchorExit = nullptr;
+  startRecording(TraceRecorder::Mode::Root, LS, S, Pc, nullptr);
+  return NextPc;
+}
+
+// --- Factory -------------------------------------------------------------------------------------
+
+std::unique_ptr<TraceMonitor> createTraceMonitor(VMContext &Ctx,
+                                                 Interpreter &I) {
+  return std::make_unique<TraceMonitorImpl>(Ctx, I);
+}
+
+} // namespace tracejit

@@ -1,0 +1,130 @@
+//===- monitor.h - The trace monitor -------------------------------------------===//
+//
+// The Figure 2 state machine. The monitor is invoked at every loop edge
+// (LoopHeader bytecode) and decides whether to interpret, record, execute
+// a compiled trace, extend a tree at a hot side exit, blacklist, or nest
+// trees. It owns the trace cache (all fragments and their LIR arenas),
+// the oracle, the loop hotness/blacklist state, and the compilation
+// pipeline (forward-filtered recording -> backward filters -> backend).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef TRACEJIT_TRACE_MONITOR_H
+#define TRACEJIT_TRACE_MONITOR_H
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "interp/interpreter.h"
+#include "interp/tracehooks.h"
+#include "jit/compiler_x64.h"
+#include "jit/fragment.h"
+#include "support/arena.h"
+#include "trace/oracle.h"
+#include "trace/recorder.h"
+
+namespace tracejit {
+
+/// Per-loop-header monitor state: hotness counter, blacklisting (§3.3),
+/// and the compiled trees for this header (one per entry type map --
+/// "there may be several trees for a given loop header", §3.2).
+struct LoopState {
+  FunctionScript *Script = nullptr;
+  LoopRecord *Loop = nullptr;
+  uint32_t HitCount = 0;
+  uint32_t BackoffUntil = 0; ///< Skip recording until HitCount passes this.
+  uint32_t Failures = 0;
+  bool Blacklisted = false;
+  std::vector<Fragment *> Peers; ///< Compiled root fragments (trees).
+  /// Type-unstable loop tails waiting for a complementary peer (Fig. 6).
+  std::vector<ExitDescriptor *> UnstableExits;
+};
+
+class TraceMonitorImpl : public TraceMonitor {
+public:
+  TraceMonitorImpl(VMContext &Ctx, Interpreter &I);
+  ~TraceMonitorImpl() override;
+
+  // --- TraceMonitor interface -----------------------------------------------
+  uint32_t onLoopEdge(Interpreter &I, uint32_t Pc, uint16_t LoopId) override;
+  bool recording() const override { return Recorder != nullptr; }
+  void recordOp(Interpreter &I, uint32_t Pc) override;
+  void flushRecorder() override;
+  void syncStats() override;
+
+  // --- Services for the recorder ----------------------------------------------
+  Arena &lirArena() { return LirArena; }
+  Oracle &oracle() { return TheOracle; }
+  VMStats &stats();
+  /// CallInfo for a typed math native (cached per boxed entry point).
+  const CallInfo *mathCallInfo(NativeFn Boxed);
+  Fragment *newFragment(FragmentKind K);
+
+  /// Oracle key for a TAR slot under the current frame chain, or 0 when
+  /// the slot is an operand-stack temporary.
+  uint64_t oracleKeyForSlot(uint32_t Slot,
+                            const std::vector<FrameEntry> &Frames);
+
+  // --- Introspection (tests, benchmarks, diagnostics) ----------------------------
+  const std::vector<std::unique_ptr<Fragment>> &fragments() const {
+    return Fragments;
+  }
+  LoopState *loopState(FunctionScript *S, uint16_t LoopId);
+
+private:
+  /// Build the current entry type map from live interpreter state,
+  /// consulting the oracle for integer demotion (§3.2).
+  TypeMap buildEntryTypeMap(uint32_t Sp);
+
+  /// Unbox interpreter state into the TAR per \p Types.
+  void fillTar(const TypeMap &Types, uint32_t Sp);
+  /// Rebox the TAR into interpreter state per the exit descriptor.
+  void restoreFromExit(ExitDescriptor *E);
+
+  /// Execute a compiled fragment against the current interpreter state;
+  /// returns the exit taken (never null). Handles Nested unwrapping.
+  ExitDescriptor *executeFragment(Fragment *Frag);
+
+  /// Post-exit policy: stitch-recording, unstable linking, preemption.
+  void handleExit(ExitDescriptor *E);
+
+  /// Start recording (root or branch). Aborts any active recording first.
+  void startRecording(TraceRecorder::Mode Mode, LoopState *LS,
+                      FunctionScript *Script, uint32_t AnchorPc,
+                      ExitDescriptor *AnchorExit);
+
+  /// Recording ended at its anchor: run backward filters, compile, link.
+  void finishRecording(const std::vector<Fragment *> &Peers);
+  void abortRecording(const std::string &Why, bool CountsTowardBlacklist);
+
+  /// Try to link type-unstable exits of peers in \p LS to \p NewPeer and
+  /// vice versa ("we attempt to connect their loop edges", §3.2/Fig. 6).
+  void linkUnstableExits(LoopState *LS, Fragment *NewPeer);
+
+  /// Nested trees (§4.1): recorder hit an inner loop header.
+  uint32_t handleInnerLoopHeader(uint32_t Pc, uint16_t LoopId);
+
+  void blacklist(LoopState *LS);
+  LoopState *loopStateOfRoot(Fragment *Root);
+
+  VMContext &Ctx;
+  Interpreter &Interp;
+  Arena LirArena;
+  std::unique_ptr<NativeBackend> Native; ///< Null => executor backend.
+  std::vector<std::unique_ptr<Fragment>> Fragments;
+  std::vector<std::unique_ptr<LoopState>> LoopStates;
+  std::unique_ptr<TraceRecorder> Recorder;
+  LoopState *RecorderLoopState = nullptr;
+  /// Branch recordings: the side exit being extended (stitched on finish).
+  ExitDescriptor *RecorderAnchorExit = nullptr;
+  Oracle TheOracle;
+  std::unordered_map<NativeFn, std::unique_ptr<CallInfo>> MathCIs;
+  std::vector<uint8_t> TarBuffer;
+  uint32_t NextFragmentId = 0;
+  uint32_t MaxPeersPerLoop = 8;
+};
+
+} // namespace tracejit
+
+#endif // TRACEJIT_TRACE_MONITOR_H

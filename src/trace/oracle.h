@@ -1,0 +1,46 @@
+//===- oracle.h - The int->double demotion oracle -----------------------------===//
+//
+// "To avoid future speculative failures involving this variable, and to
+// obtain a type-stable trace, we note the fact that the variable in
+// question has been observed to sometimes hold non-integer values in an
+// advisory data structure which we call the oracle. When compiling loops,
+// we consult the oracle before specializing values to integers." (§3.2)
+//
+// Keys identify variables stably across traces: a global slot, or a
+// (script, local-slot) pair. Operand-stack temporaries are not tracked --
+// they do not survive loop edges in practice.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef TRACEJIT_TRACE_ORACLE_H
+#define TRACEJIT_TRACE_ORACLE_H
+
+#include <cstdint>
+#include <unordered_set>
+
+namespace tracejit {
+
+class Oracle {
+public:
+  static uint64_t globalKey(uint32_t Slot) { return Slot; }
+  static uint64_t localKey(uint32_t ScriptId, uint32_t LocalSlot) {
+    return (1ULL << 63) | ((uint64_t)ScriptId << 24) | LocalSlot;
+  }
+
+  /// Record that this variable was observed holding a double when an
+  /// integer was speculated.
+  void markDemote(uint64_t Key) { Demoted.insert(Key); }
+
+  /// Should entry-type-map construction demote this variable to double?
+  bool isDemoted(uint64_t Key) const { return Demoted.count(Key) != 0; }
+
+  size_t size() const { return Demoted.size(); }
+  void clear() { Demoted.clear(); }
+
+private:
+  std::unordered_set<uint64_t> Demoted;
+};
+
+} // namespace tracejit
+
+#endif // TRACEJIT_TRACE_ORACLE_H

@@ -1,0 +1,220 @@
+//===- recorder.h - The trace recorder -----------------------------------------===//
+//
+// Shadows the interpreter bytecode-by-bytecode while recording, emitting
+// type-specialized LIR through the forward filter pipeline (§3.1, §6.3).
+// The recorder:
+//
+//  * tracks interpreter slots (globals + the whole value stack) as LIR
+//    values with trace types, importing lazily with typed loads from the
+//    TAR and materializing every write as a TAR store (the backward
+//    dead-store filters remove the unobservable ones, §5.1);
+//  * peeks at the live interpreter state (which has not yet executed the
+//    bytecode) to specialize on observed types, shapes, callee identity,
+//    bounds, and branch directions, emitting a guard for each speculation;
+//  * inlines scripted calls by mirroring the interpreter's frame layout
+//    (function inlining, §3.1), and calls typed natives directly (§6.5);
+//  * snapshots an ExitDescriptor per guard: resume pc, stack depth, frame
+//    chain, and the type map needed to rebox the TAR into the interpreter.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef TRACEJIT_TRACE_RECORDER_H
+#define TRACEJIT_TRACE_RECORDER_H
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "interp/interpreter.h"
+#include "jit/fragment.h"
+#include "lir/filters.h"
+#include "lir/lir.h"
+#include "trace/oracle.h"
+
+namespace tracejit {
+
+class TraceMonitorImpl;
+
+class TraceRecorder {
+public:
+  /// What recording is extending.
+  enum class Mode : uint8_t {
+    Root,   ///< New tree (or new type-unstable peer) at a loop header.
+    Branch, ///< Branch trace from a hot side exit of an existing tree.
+  };
+
+  TraceRecorder(VMContext &Ctx, Interpreter &I, TraceMonitorImpl &M,
+                Fragment *F, Mode Mode, LoopRecord *Loop,
+                ExitDescriptor *AnchorExit);
+  ~TraceRecorder();
+
+  enum class Status : uint8_t { Recording, Finished, Aborted };
+  Status status() const { return St; }
+  const std::string &abortReason() const { return AbortReason; }
+  Fragment *fragment() { return F; }
+  Mode mode() const { return RecMode; }
+  LoopRecord *loop() { return Loop; }
+
+  /// Pre-execution hook for every bytecode except LoopHeader.
+  void recordOp(uint32_t Pc);
+
+  /// Called by the monitor at a loop header. \p AtAnchor: this is the
+  /// header the trace must close at (same pc and frame depth).
+  bool atAnchor(uint32_t Pc) const;
+
+  /// Close the loop at the anchor header: emit the preempt guard and
+  /// either the Loop back edge (type-stable), a JmpFrag to a matching peer
+  /// (branch traces / linked peers), or an unstable Exit. Moves the LIR
+  /// body into the fragment. Returns false if the trace had to be aborted.
+  bool closeLoop(const std::vector<Fragment *> &Peers);
+
+  /// Record a call to a nested tree that the monitor just executed
+  /// successfully, then adopt the inner tree's exit state (§4.1).
+  void recordTreeCall(Fragment *Inner, ExitDescriptor *TakenExit);
+
+  /// Do the recorder's current frames (scripts, bases) match a fragment's
+  /// entry chain? Required in addition to type-map equality.
+  bool framesMatch(const std::vector<FrameEntry> &Entry) const;
+
+  /// Can the current state be adapted to \p Entry by promoting Int slots
+  /// to Double (the only legal coercion)? Exact matches return true too.
+  bool canCoerceTo(const TypeMap &Entry);
+  /// Emit the promotions so the current state matches \p Entry exactly.
+  void coerceTo(const TypeMap &Entry);
+
+  /// The recorder's current view of slot types, as a full type map over
+  /// [0, NumGlobals + vSp) -- used to select nested trees.
+  TypeMap currentTypeMap();
+
+  /// Current virtual frame depth (for anchor identification).
+  size_t frameDepth() const { return VFrames.size(); }
+
+  void abort(const std::string &Why);
+
+private:
+  // --- Slot tracking -----------------------------------------------------------
+  struct Tracked {
+    LIns *Ins = nullptr; ///< Null for Null/Undefined (type carries all).
+    TraceType Ty = TraceType::Undefined;
+  };
+
+  uint32_t numGlobals() const { return F->EntryTypes.NumGlobals; }
+  uint32_t slotOfGlobal(uint32_t G) const { return G; }
+  uint32_t slotOfStack(uint32_t StackIdx) const {
+    return numGlobals() + StackIdx;
+  }
+
+  TraceType fallbackTypeOf(uint32_t Slot);
+  Tracked readSlot(uint32_t Slot);
+  void writeSlot(uint32_t Slot, LIns *V, TraceType T);
+  void noteSlot(uint32_t Slot) {
+    if (Slot + 1 > MaxSlot)
+      MaxSlot = Slot + 1;
+  }
+
+  // Virtual operand stack of the top frame (indices are interpreter
+  // value-stack positions).
+  Tracked readStack(uint32_t StackIdx) { return readSlot(slotOfStack(StackIdx)); }
+  void push(LIns *V, TraceType T) {
+    writeSlot(slotOfStack(VSp), V, T);
+    ++VSp;
+  }
+  Tracked pop() {
+    --VSp;
+    return readSlot(slotOfStack(VSp));
+  }
+  Tracked top(uint32_t Depth = 0) { return readSlot(slotOfStack(VSp - 1 - Depth)); }
+
+  // --- Exits ---------------------------------------------------------------------
+  ExitDescriptor *snapshot(ExitKind Kind, uint32_t Pc);
+
+  // --- Emission helpers -------------------------------------------------------------
+  LIns *tarBase() { return ParamTar; }
+  LIns *immI(int32_t V) { return W->insImmI(V); }
+  LIns *immQ(int64_t V) { return W->insImmQ(V); }
+  LIns *immD(double V) { return W->insImmD(V); }
+  LIns *ldSlot(TraceType T, uint32_t Slot);
+  void stSlot(uint32_t Slot, LIns *V, TraceType T);
+
+  /// Unbox a boxed value word under a type guard (heap loads).
+  LIns *unboxGuarded(LIns *Word, TraceType Expect, uint32_t Pc);
+  /// Build a boxed value word from an unboxed value (may emit a BoxDouble
+  /// call for doubles).
+  LIns *boxValue(LIns *V, TraceType T);
+
+  LIns *promoteToD(const Tracked &V);
+  LIns *asInt32(const Tracked &V);
+  LIns *truthyIns(const Tracked &V);
+  bool isNumericType(TraceType T) const {
+    return T == TraceType::Int || T == TraceType::Double ||
+           T == TraceType::Boolean;
+  }
+  bool isIntLike(TraceType T) const {
+    return T == TraceType::Int || T == TraceType::Boolean;
+  }
+
+  /// Guard that object \p Obj (unboxed ptr) has shape \p S.
+  void guardShape(LIns *Obj, class Shape *S, uint32_t Pc);
+  void guardIsArray(LIns *Obj, uint32_t Pc);
+
+  // --- Bytecode recording ------------------------------------------------------------
+  void recordArith(Op O, uint32_t Pc);
+  void recordCompare(Op O, uint32_t Pc);
+  void recordBitop(Op O, uint32_t Pc);
+  void recordBranch(Op O, uint32_t Pc);
+  void recordGetProp(uint32_t Pc);
+  void recordSetProp(uint32_t Pc);
+  void recordGetElem(uint32_t Pc);
+  void recordSetElem(uint32_t Pc);
+  void recordCall(uint32_t Pc);
+  void recordCallProp(uint32_t Pc);
+  void recordReturn(Op O, uint32_t Pc);
+  void recordScriptedCall(Object *Callee, uint32_t ArgC, uint32_t ReturnPc,
+                          uint32_t Pc);
+  bool recordTraceableNative(Object *Callee, uint32_t ArgC, uint32_t Pc);
+
+  /// Interpreter peeking: the op has not executed yet, so the operand
+  /// values are on the live interpreter stack.
+  Value peekStack(uint32_t DepthFromTop);
+  FunctionScript *script() const;
+
+  VMContext &Ctx;
+  Interpreter &Interp;
+  TraceMonitorImpl &Monitor;
+  Fragment *F;
+  Mode RecMode;
+  LoopRecord *Loop; ///< Extent of the loop being traced (root tree's loop).
+  ExitDescriptor *AnchorExit; ///< Branch mode: the exit being extended.
+
+  // Virtual mirror of the interpreter.
+  struct RecFrame {
+    FunctionScript *Script;
+    uint32_t Base;
+    uint32_t ReturnPc;
+  };
+  std::vector<RecFrame> VFrames;
+  uint32_t VSp = 0;
+  size_t EntryFrameDepth = 0;
+
+  std::unordered_map<uint32_t, Tracked> Tracker;
+  /// Fallback types for unimported slots (entry map, updated after tree
+  /// calls).
+  std::vector<TraceType> FallbackTypes;
+
+  // LIR pipeline.
+  std::unique_ptr<LirBuffer> Buffer;
+  std::unique_ptr<CseFilter> Cse;
+  std::unique_ptr<ExprFilter> Expr;
+  LirWriter *W = nullptr;
+  LIns *ParamTar = nullptr;
+
+  Status St = Status::Recording;
+  std::string AbortReason;
+  uint32_t MaxSlot = 0;
+  uint32_t OpsRecorded = 0;
+};
+
+} // namespace tracejit
+
+#endif // TRACEJIT_TRACE_RECORDER_H

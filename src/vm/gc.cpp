@@ -1,0 +1,125 @@
+//===- gc.cpp - Exact stop-the-world mark-and-sweep -----------------------===//
+
+#include "vm/gc.h"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "vm/object.h"
+#include "vm/string.h"
+
+namespace tracejit {
+
+Heap::Heap() = default;
+
+Heap::~Heap() {
+  for (GCCell *C : Cells) {
+    switch (C->Kind) {
+    case CellKind::Object:
+      static_cast<Object *>(C)->~Object();
+      break;
+    case CellKind::String:
+      static_cast<String *>(C)->~String();
+      break;
+    case CellKind::Double:
+      static_cast<DoubleCell *>(C)->~DoubleCell();
+      break;
+    }
+    std::free(C);
+  }
+}
+
+DoubleCell *Heap::allocDouble(double D) {
+  void *Mem = std::malloc(sizeof(DoubleCell));
+  auto *Cell = new (Mem) DoubleCell(D);
+  registerCell(Cell, sizeof(DoubleCell));
+  return Cell;
+}
+
+Value Heap::boxNumber(double D) {
+  // Interpreter policy: keep integers in the 31-bit tagged representation
+  // whenever possible (paper §3.1, "representation specialization: numbers").
+  if (D >= Value::Int31Min && D <= Value::Int31Max) {
+    int32_t I = (int32_t)D;
+    if ((double)I == D && !(D == 0 && std::signbit(D)))
+      return Value::makeInt(I);
+  }
+  return boxDouble(D);
+}
+
+void Heap::registerCell(GCCell *C, size_t Bytes) {
+  Cells.push_back(C);
+  BytesAllocated += Bytes;
+}
+
+void Marker::markValue(const Value &V) {
+  if (V.isObject())
+    markCell(V.toObject());
+  else if (V.isString())
+    markCell(V.toString());
+  else if (V.isDoubleCell())
+    markCell(V.toDoubleCell());
+}
+
+void Marker::markCell(GCCell *C) {
+  if (!C || C->Marked)
+    return;
+  C->Marked = true;
+  WorkList.push_back(C);
+}
+
+void Heap::collect() {
+  ++NumCollections;
+  Marker M;
+  for (auto &Provider : RootProviders)
+    Provider(M);
+  while (!M.WorkList.empty()) {
+    GCCell *C = M.WorkList.back();
+    M.WorkList.pop_back();
+    if (C->Kind == CellKind::Object)
+      static_cast<Object *>(C)->trace(M);
+  }
+  sweep();
+}
+
+void Heap::sweep() {
+  size_t Live = 0;
+  size_t LiveBytes = 0;
+  for (GCCell *C : Cells) {
+    if (C->Marked) {
+      C->Marked = false;
+      Cells[Live++] = C;
+      switch (C->Kind) {
+      case CellKind::Object:
+        LiveBytes += sizeof(Object);
+        break;
+      case CellKind::String:
+        LiveBytes += sizeof(String) + static_cast<String *>(C)->length();
+        break;
+      case CellKind::Double:
+        LiveBytes += sizeof(DoubleCell);
+        break;
+      }
+      continue;
+    }
+    switch (C->Kind) {
+    case CellKind::Object:
+      static_cast<Object *>(C)->~Object();
+      break;
+    case CellKind::String:
+      static_cast<String *>(C)->~String();
+      break;
+    case CellKind::Double:
+      static_cast<DoubleCell *>(C)->~DoubleCell();
+      break;
+    }
+    std::free(C);
+  }
+  Cells.resize(Live);
+  BytesAllocated = LiveBytes;
+  // Grow the trigger so steady-state heaps do not thrash.
+  size_t MinTrigger = 4 * 1024 * 1024;
+  GCTrigger = LiveBytes * 2 > MinTrigger ? LiveBytes * 2 : MinTrigger;
+}
+
+} // namespace tracejit

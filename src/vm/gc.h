@@ -1,0 +1,120 @@
+//===- gc.h - Exact stop-the-world mark-and-sweep heap --------------------===//
+//
+// "The garbage collector is an exact, non-generational, stop-the-world
+// mark-and-sweep collector." (paper §6). Cells are objects, strings, and
+// boxed double handles. Collection is scheduled through the VM's preempt
+// flag and runs only at interpreter safe points (loop edges and allocation
+// sites in the interpreter); traces never collect directly -- allocating
+// helpers called from native code merely request a collection, which the
+// preemption guard at the next loop edge then services (paper §6.4).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef TRACEJIT_VM_GC_H
+#define TRACEJIT_VM_GC_H
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "vm/value.h"
+
+namespace tracejit {
+
+/// Kinds of heap cells.
+enum class CellKind : uint8_t {
+  Object,
+  String,
+  Double,
+};
+
+/// Common header of every GC-managed cell.
+struct GCCell {
+  CellKind Kind;
+  bool Marked = false;
+
+  explicit GCCell(CellKind K) : Kind(K) {}
+};
+
+/// A heap-boxed double ("double handle", paper Fig. 9 tag 010).
+struct DoubleCell : GCCell {
+  double Val;
+  explicit DoubleCell(double D) : GCCell(CellKind::Double), Val(D) {}
+
+  /// JIT-visible offset of the payload (compiled unbox loads).
+  static int32_t valueOffset() { return 8; }
+};
+static_assert(sizeof(DoubleCell) == 16, "double handle layout");
+
+inline double Value::numberValue() const {
+  if (isInt())
+    return (double)toInt();
+  return toDoubleCell()->Val;
+}
+
+/// The heap. Owns all cells; exposes allocation, rooting hooks, and
+/// collection. Non-moving, so raw pointers embedded in compiled traces stay
+/// valid as long as the trace cache roots them.
+class Heap {
+public:
+  Heap();
+  ~Heap();
+  Heap(const Heap &) = delete;
+  Heap &operator=(const Heap &) = delete;
+
+  DoubleCell *allocDouble(double D);
+  Value boxDouble(double D) { return Value::makeDoubleCell(allocDouble(D)); }
+
+  /// Box a numeric result: 31-bit-representable integers get the int tag,
+  /// everything else a double handle. This is the interpreter's "use integer
+  /// representations as much as it can" rule (paper §3.1).
+  Value boxNumber(double D);
+
+  /// Register a cell allocated by a sibling module (Object/String know their
+  /// own layout; they call this from their factory functions).
+  void registerCell(GCCell *C, size_t Bytes);
+
+  /// Root providers are callbacks that mark live cells; the interpreter,
+  /// global table, atom table, and trace cache each install one.
+  void addRootProvider(std::function<void(class Marker &)> Fn) {
+    RootProviders.push_back(std::move(Fn));
+  }
+
+  /// True when allocation pressure wants a collection; the VM mirrors this
+  /// into the preempt flag.
+  bool wantsGC() const { return BytesAllocated > GCTrigger; }
+
+  /// Run a full mark-and-sweep collection. Caller must be at a safe point.
+  void collect();
+
+  size_t bytesAllocated() const { return BytesAllocated; }
+  uint64_t collections() const { return NumCollections; }
+
+  /// Test hook: force the next wantsGC() to be true.
+  void forceGCNext() { GCTrigger = 0; }
+
+private:
+  void sweep();
+
+  std::vector<GCCell *> Cells;
+  size_t BytesAllocated = 0;
+  size_t GCTrigger = 4 * 1024 * 1024;
+  uint64_t NumCollections = 0;
+  std::vector<std::function<void(class Marker &)>> RootProviders;
+};
+
+/// Marking interface handed to root providers and cell tracers.
+class Marker {
+public:
+  void markValue(const Value &V);
+  void markCell(GCCell *C);
+
+private:
+  friend class Heap;
+  std::vector<GCCell *> WorkList;
+};
+
+} // namespace tracejit
+
+#endif // TRACEJIT_VM_GC_H

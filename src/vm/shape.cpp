@@ -1,0 +1,29 @@
+//===- shape.cpp - Shared object shapes ------------------------------------===//
+
+#include "vm/shape.h"
+
+namespace tracejit {
+
+ShapeTree::ShapeTree() {
+  Root = new Shape(NextId++);
+  All.push_back(Root);
+}
+
+ShapeTree::~ShapeTree() {
+  for (Shape *S : All)
+    delete S;
+}
+
+Shape *ShapeTree::transition(Shape *From, String *Name) {
+  auto It = From->Transitions.find(Name);
+  if (It != From->Transitions.end())
+    return It->second;
+  Shape *Child = new Shape(NextId++);
+  Child->Slots = From->Slots;
+  Child->Slots.emplace(Name, From->slotCount());
+  From->Transitions.emplace(Name, Child);
+  All.push_back(Child);
+  return Child;
+}
+
+} // namespace tracejit

@@ -1,0 +1,71 @@
+//===- shape.h - Shared object shapes (hidden classes) --------------------===//
+//
+// "Most objects are represented by a shared structural description, called
+// the object shape, that maps property names to array indexes" (paper §6).
+// Shapes form a transition tree: adding property P to an object with shape
+// S yields the unique child shape S.P, so objects created the same way
+// share a shape. Each shape carries a small integer id; a trace guard on a
+// property access "is a simple equality check on the object shape" (§3.1).
+//
+// Shapes are engine-lifetime (never collected): the tree is monotonic and
+// small in practice, and compiled traces embed shape ids.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef TRACEJIT_VM_SHAPE_H
+#define TRACEJIT_VM_SHAPE_H
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace tracejit {
+
+class String;
+
+/// One node of the shape transition tree.
+class Shape {
+public:
+  /// Slot index of property \p Name, or -1 if absent.
+  int lookup(String *Name) const {
+    auto It = Slots.find(Name);
+    return It == Slots.end() ? -1 : (int)It->second;
+  }
+
+  uint32_t id() const { return Id; }
+  uint32_t slotCount() const { return (uint32_t)Slots.size(); }
+
+private:
+  friend class ShapeTree;
+  Shape(uint32_t Id) : Id(Id) {}
+
+  uint32_t Id;
+  std::unordered_map<String *, uint32_t> Slots;
+  std::unordered_map<String *, Shape *> Transitions;
+};
+
+/// Owns all shapes; hands out the empty root shape and transition children.
+class ShapeTree {
+public:
+  ShapeTree();
+  ~ShapeTree();
+  ShapeTree(const ShapeTree &) = delete;
+  ShapeTree &operator=(const ShapeTree &) = delete;
+
+  Shape *emptyShape() const { return Root; }
+
+  /// The shape reached from \p From by defining a new property \p Name. The
+  /// new property's slot index is From->slotCount().
+  Shape *transition(Shape *From, String *Name);
+
+  uint32_t shapeCount() const { return (uint32_t)All.size(); }
+
+private:
+  Shape *Root;
+  std::vector<Shape *> All;
+  uint32_t NextId = 1;
+};
+
+} // namespace tracejit
+
+#endif // TRACEJIT_VM_SHAPE_H

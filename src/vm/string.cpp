@@ -1,0 +1,42 @@
+//===- string.cpp - Immutable GC strings and atoms ------------------------===//
+
+#include "vm/string.h"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace tracejit {
+
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Winvalid-offsetof"
+int32_t String::lengthOffset() { return (int32_t)offsetof(String, Len); }
+#pragma GCC diagnostic pop
+
+String *String::create(Heap &H, std::string_view Data) {
+  void *Mem = std::malloc(sizeof(String) + Data.size() + 1);
+  auto *S = new (Mem) String((uint32_t)Data.size());
+  char *Chars = reinterpret_cast<char *>(S + 1);
+  std::memcpy(Chars, Data.data(), Data.size());
+  Chars[Data.size()] = 0;
+  H.registerCell(S, sizeof(String) + Data.size() + 1);
+  return S;
+}
+
+AtomTable::AtomTable(Heap &H) : TheHeap(H) {
+  H.addRootProvider([this](Marker &M) {
+    for (auto &[_, S] : Map)
+      M.markCell(S);
+  });
+}
+
+String *AtomTable::intern(std::string_view Name) {
+  auto It = Map.find(std::string(Name));
+  if (It != Map.end())
+    return It->second;
+  String *S = String::create(TheHeap, Name);
+  S->Atom = true;
+  Map.emplace(std::string(Name), S);
+  return S;
+}
+
+} // namespace tracejit

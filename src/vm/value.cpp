@@ -1,0 +1,83 @@
+//===- value.cpp - Tagged value helpers ------------------------------------===//
+
+#include "vm/value.h"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+#include "vm/gc.h"
+#include "vm/object.h"
+#include "vm/string.h"
+
+namespace tracejit {
+
+bool Value::truthy() const {
+  if (isInt())
+    return toInt() != 0;
+  if (isDoubleCell()) {
+    double D = toDoubleCell()->Val;
+    return D != 0 && !std::isnan(D);
+  }
+  if (isString())
+    return toString()->length() != 0;
+  if (isSpecial())
+    return specialPayload() == SpecialTrue;
+  return true; // objects
+}
+
+std::string numberToString(double D) {
+  if (std::isnan(D))
+    return "NaN";
+  if (std::isinf(D))
+    return D > 0 ? "Infinity" : "-Infinity";
+  // Integral values in the safe range print without a fraction, as in JS.
+  if (D == std::floor(D) && std::fabs(D) < 1e15) {
+    char Buf[32];
+    snprintf(Buf, sizeof(Buf), "%.0f", D);
+    return Buf;
+  }
+  // Shortest round-trip representation.
+  char Buf[64];
+  auto [P, Ec] = std::to_chars(Buf, Buf + sizeof(Buf), D);
+  (void)Ec;
+  return std::string(Buf, P);
+}
+
+std::string valueToString(const Value &V) {
+  if (V.isInt())
+    return std::to_string(V.toInt());
+  if (V.isDoubleCell())
+    return numberToString(V.toDoubleCell()->Val);
+  if (V.isString())
+    return std::string(V.toString()->view());
+  if (V.isSpecial()) {
+    switch (V.specialPayload()) {
+    case SpecialFalse:
+      return "false";
+    case SpecialTrue:
+      return "true";
+    case SpecialNull:
+      return "null";
+    default:
+      return "undefined";
+    }
+  }
+  Object *O = V.toObject();
+  if (O->isFunction())
+    return "[function]";
+  if (O->isArray()) {
+    std::string S;
+    for (uint32_t I = 0; I < O->arrayLength(); ++I) {
+      if (I)
+        S += ",";
+      Value E = O->getElement(I);
+      if (!E.isUndefined() && !E.isNull())
+        S += valueToString(E);
+    }
+    return S;
+  }
+  return "[object Object]";
+}
+
+} // namespace tracejit

@@ -1,0 +1,322 @@
+//===- test_backend.cpp - Assembler, exec memory, native compiler ------------===//
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "interp/vmcontext.h"
+#include "jit/assembler_x64.h"
+#include "jit/compiler_x64.h"
+#include "jit/execmem.h"
+#include "jit/executor.h"
+#include "lir/lir.h"
+#include "support/arena.h"
+
+using namespace tracejit;
+
+namespace {
+
+/// Assemble a tiny function and call it directly.
+template <typename FnT> FnT assembleInto(ExecMemPool &Pool, Assembler &A) {
+  EXPECT_FALSE(A.overflowed());
+  return (FnT)A.begin();
+}
+
+} // namespace
+
+TEST(ExecMem, AllocatesAlignedExecutableMemory) {
+  ExecMemPool Pool(1 << 20);
+  ASSERT_TRUE(Pool.valid());
+  uint8_t *A = Pool.allocate(100);
+  uint8_t *B = Pool.allocate(100);
+  ASSERT_NE(A, nullptr);
+  ASSERT_NE(B, nullptr);
+  EXPECT_EQ((uintptr_t)A % 16, 0u);
+  EXPECT_EQ((uintptr_t)B % 16, 0u);
+  EXPECT_GE(B, A + 100);
+}
+
+TEST(Assembler, ReturnConstant) {
+  ExecMemPool Pool(1 << 16);
+  ASSERT_TRUE(Pool.valid());
+  Assembler A(Pool.allocate(64), 64);
+  A.movRI32(RAX, 12345);
+  A.ret();
+  auto Fn = assembleInto<int (*)()>(Pool, A);
+  EXPECT_EQ(Fn(), 12345);
+}
+
+TEST(Assembler, IntegerArithmetic) {
+  ExecMemPool Pool(1 << 16);
+  ASSERT_TRUE(Pool.valid());
+  // int f(int a, int b) { return (a + b) * 3 - (a & b); }
+  Assembler A(Pool.allocate(128), 128);
+  A.movRR32(RAX, RDI);
+  A.addRR32(RAX, RSI);
+  A.movRI32(RCX, 3);
+  A.imulRR32(RAX, RCX);
+  A.movRR32(RDX, RDI);
+  A.andRR32(RDX, RSI);
+  A.subRR32(RAX, RDX);
+  A.ret();
+  auto Fn = assembleInto<int (*)(int, int)>(Pool, A);
+  EXPECT_EQ(Fn(5, 7), 31);
+  EXPECT_EQ(Fn(-4, 9), 15 - (-4 & 9));
+}
+
+TEST(Assembler, MemoryAndShifts) {
+  ExecMemPool Pool(1 << 16);
+  ASSERT_TRUE(Pool.valid());
+  // int f(int* p) { return (p[0] << 4) | (p[1] >> 2); }
+  Assembler A(Pool.allocate(128), 128);
+  A.movRM32(RAX, RDI, 0);
+  A.shlI32(RAX, 4);
+  A.movRM32(RCX, RDI, 4);
+  A.sarI32(RCX, 2);
+  A.orRR32(RAX, RCX);
+  A.ret();
+  auto Fn = assembleInto<int (*)(int *)>(Pool, A);
+  int Data[2] = {3, 40};
+  EXPECT_EQ(Fn(Data), (3 << 4) | (40 >> 2));
+}
+
+TEST(Assembler, DoubleArithmetic) {
+  ExecMemPool Pool(1 << 16);
+  ASSERT_TRUE(Pool.valid());
+  // double f(double a, double b) { return a * b + a; }
+  Assembler A(Pool.allocate(64), 64);
+  A.movsdRR(XMM2, XMM0);
+  A.mulsd(XMM2, XMM1);
+  A.addsd(XMM2, XMM0);
+  A.movsdRR(XMM0, XMM2);
+  A.ret();
+  auto Fn = assembleInto<double (*)(double, double)>(Pool, A);
+  EXPECT_EQ(Fn(2.5, 4.0), 12.5);
+}
+
+TEST(Assembler, ConversionsAndCompares) {
+  ExecMemPool Pool(1 << 16);
+  ASSERT_TRUE(Pool.valid());
+  // int f(double d, int i) { return (int)d + (d > (double)i ? 10 : 0); }
+  Assembler A(Pool.allocate(128), 128);
+  A.cvttsd2si(RAX, XMM0);
+  A.cvtsi2sd(XMM1, RDI);
+  A.ucomisd(XMM0, XMM1);
+  A.setcc(CondA, RCX);
+  A.movzxByteRR(RCX, RCX);
+  A.movRI32(RDX, 10);
+  A.imulRR32(RCX, RDX);
+  A.addRR32(RAX, RCX);
+  A.ret();
+  auto Fn = assembleInto<int (*)(int, double)>(Pool, A); // (rdi, xmm0)
+  EXPECT_EQ(Fn(3, 7.5), 7 + 10);
+  EXPECT_EQ(Fn(9, 7.5), 7 + 0);
+}
+
+TEST(Assembler, JumpsAndPatching) {
+  ExecMemPool Pool(1 << 16);
+  ASSERT_TRUE(Pool.valid());
+  // int f(int a) { if (a < 0) return -1; return 1; }
+  Assembler A(Pool.allocate(64), 64);
+  A.testRR32(RDI, RDI);
+  uint8_t *Neg = A.jccFwd(CondS);
+  A.movRI32(RAX, 1);
+  A.ret();
+  uint8_t *NegTarget = A.pc();
+  A.movRI32(RAX, -1);
+  A.ret();
+  Assembler::patchRel32(Neg, NegTarget);
+  auto Fn = assembleInto<int (*)(int)>(Pool, A);
+  EXPECT_EQ(Fn(5), 1);
+  EXPECT_EQ(Fn(-5), -1);
+}
+
+TEST(Assembler, ExtendedRegistersEncodeCorrectly) {
+  ExecMemPool Pool(1 << 16);
+  ASSERT_TRUE(Pool.valid());
+  // Exercise r8-r15 and xmm8+: int f(int a) { return a * 2 + 7; }
+  Assembler A(Pool.allocate(128), 128);
+  A.movRR32(R8, RDI);
+  A.addRR32(R8, RDI);
+  A.movRI32(R15, 7);
+  A.addRR32(R8, R15);
+  A.movRR32(RAX, R8);
+  A.ret();
+  auto Fn = assembleInto<int (*)(int)>(Pool, A);
+  EXPECT_EQ(Fn(21), 49);
+}
+
+// --- Native vs executor on hand-built LIR fragments --------------------------------
+
+namespace {
+
+struct BackendFixture : ::testing::Test {
+  EngineOptions Opts;
+  VMContext Ctx{Opts};
+  NativeBackend BE;
+  Arena A;
+
+  /// Run a fragment under both backends against the same TAR contents and
+  /// require identical exits and TAR effects.
+  void checkBoth(Fragment &F, std::vector<uint64_t> TarInit,
+                 ExitDescriptor *WantExit) {
+    ASSERT_TRUE(BE.valid());
+    ASSERT_EQ(typecheckBody(F.Body), "");
+
+    std::vector<uint64_t> TarN = TarInit, TarX = TarInit;
+    TarN.resize(TarInit.size() + 64);
+    TarX.resize(TarInit.size() + 64);
+
+    ASSERT_TRUE(BE.compile(&F, &Ctx));
+    ExitDescriptor *EN = BE.enter(TarN.data(), &F);
+    ExitDescriptor *EX =
+        LirExecutor::run(&F, (uint8_t *)TarX.data(), &Ctx);
+    EXPECT_EQ(EN, WantExit);
+    EXPECT_EQ(EX, WantExit);
+    EXPECT_EQ(TarN, TarX) << "backends disagree on TAR effects";
+  }
+};
+
+} // namespace
+
+TEST_F(BackendFixture, CountingLoopFragment) {
+  // slot0 = i; loop until i == 100, incrementing.
+  Fragment F;
+  LirBuffer Buf(A);
+  LIns *Tar = Buf.ins0(LOp::ParamTar);
+  LIns *I = Buf.insLoad(LOp::LdI, Tar, 0);
+  LIns *Done = Buf.ins2(LOp::EqI, I, Buf.insImmI(100));
+  ExitDescriptor *E = F.makeExit();
+  E->Sp = 1;
+  Buf.insGuard(LOp::GuardF, Done, E);
+  LIns *Next = Buf.ins2(LOp::AddI, I, Buf.insImmI(1));
+  Buf.insStore(LOp::StI, Next, Tar, 0);
+  Buf.insLoop();
+  F.Body = Buf.instructions();
+
+  std::vector<uint64_t> TarInit = {0, 0, 0, 0};
+  checkBoth(F, TarInit, E);
+}
+
+TEST_F(BackendFixture, DoubleAccumulationFragment) {
+  Fragment F;
+  LirBuffer Buf(A);
+  LIns *Tar = Buf.ins0(LOp::ParamTar);
+  LIns *I = Buf.insLoad(LOp::LdI, Tar, 0);
+  LIns *S = Buf.insLoad(LOp::LdD, Tar, 8);
+  LIns *S2 = Buf.ins2(LOp::AddD, S, Buf.insImmD(0.125));
+  Buf.insStore(LOp::StD, S2, Tar, 8);
+  LIns *Next = Buf.ins2(LOp::AddI, I, Buf.insImmI(1));
+  Buf.insStore(LOp::StI, Next, Tar, 0);
+  ExitDescriptor *E = F.makeExit();
+  E->Sp = 2;
+  Buf.insGuard(LOp::GuardT, Buf.ins2(LOp::LtI, Next, Buf.insImmI(64)), E);
+  Buf.insLoop();
+  F.Body = Buf.instructions();
+
+  std::vector<uint64_t> TarInit = {0, 0, 0, 0};
+  checkBoth(F, TarInit, E);
+  // Spot-check the math: 64 iterations of +0.125 = 8.0.
+  std::vector<uint64_t> TarMem = TarInit;
+  TarMem.resize(68);
+  LirExecutor::run(&F, (uint8_t *)TarMem.data(), &Ctx);
+  double Result;
+  memcpy(&Result, &TarMem[1], 8);
+  EXPECT_EQ(Result, 8.0);
+}
+
+TEST_F(BackendFixture, OverflowGuardExits) {
+  Fragment F;
+  LirBuffer Buf(A);
+  LIns *Tar = Buf.ins0(LOp::ParamTar);
+  LIns *X = Buf.insLoad(LOp::LdI, Tar, 0);
+  ExitDescriptor *Ov = F.makeExit();
+  Ov->Sp = 1;
+  LIns *Dbl = Buf.insOvf(LOp::AddOvI, X, X, Ov);
+  Buf.insStore(LOp::StI, Dbl, Tar, 0);
+  Buf.insLoop();
+  F.Body = Buf.instructions();
+
+  // Starts at 3: doubles until it overflows int32, then must exit.
+  std::vector<uint64_t> TarInit = {3, 0};
+  checkBoth(F, TarInit, Ov);
+}
+
+TEST_F(BackendFixture, ManyLiveValuesForceSpills) {
+  // More simultaneously-live values than registers: exercises the
+  // furthest-next-use spill heuristic (§5.2).
+  Fragment F;
+  LirBuffer Buf(A);
+  LIns *Tar = Buf.ins0(LOp::ParamTar);
+  constexpr int N = 40;
+  LIns *Vals[N];
+  for (int K = 0; K < N; ++K)
+    Vals[K] = Buf.insLoad(LOp::LdI, Tar, K * 8);
+  // Consume in reverse so everything stays live a long time.
+  LIns *Acc = Buf.insImmI(0);
+  for (int K = N - 1; K >= 0; --K)
+    Acc = Buf.ins2(LOp::AddI, Acc, Vals[K]);
+  Buf.insStore(LOp::StI, Acc, Tar, N * 8);
+  ExitDescriptor *E = F.makeExit();
+  E->Sp = 0;
+  Buf.insExit(E);
+  F.Body = Buf.instructions();
+
+  std::vector<uint64_t> TarInit(N + 2);
+  for (int K = 0; K < N; ++K)
+    TarInit[K] = (uint64_t)(K + 1);
+  checkBoth(F, TarInit, E);
+  // Validate the sum through the executor copy.
+  std::vector<uint64_t> TarMem = TarInit;
+  TarMem.resize(TarInit.size() + 64);
+  LirExecutor::run(&F, (uint8_t *)TarMem.data(), &Ctx);
+  EXPECT_EQ((int32_t)TarMem[N], N * (N + 1) / 2);
+}
+
+TEST_F(BackendFixture, StitchedExitTransfersToBranchFragment) {
+  // Fragment A exits; its exit is patched to fragment B, which writes a
+  // marker and exits through its own descriptor.
+  Fragment FB;
+  LirBuffer BufB(A);
+  {
+    LIns *Tar = BufB.ins0(LOp::ParamTar);
+    BufB.insStore(LOp::StI, BufB.insImmI(777), Tar, 8);
+    ExitDescriptor *EB = FB.makeExit();
+    EB->Sp = 0;
+    BufB.insExit(EB);
+    FB.Body = BufB.instructions();
+  }
+  ASSERT_TRUE(BE.compile(&FB, &Ctx));
+
+  Fragment FA;
+  LirBuffer BufA(A);
+  ExitDescriptor *EA;
+  {
+    LIns *Tar = BufA.ins0(LOp::ParamTar);
+    LIns *X = BufA.insLoad(LOp::LdI, Tar, 0);
+    EA = FA.makeExit();
+    EA->Sp = 0;
+    BufA.insGuard(LOp::GuardT, BufA.ins2(LOp::EqI, X, BufA.insImmI(0)), EA);
+    ExitDescriptor *EEnd = FA.makeExit();
+    EEnd->Sp = 0;
+    BufA.insExit(EEnd);
+    FA.Body = BufA.instructions();
+  }
+  ASSERT_TRUE(BE.compile(&FA, &Ctx));
+
+  BE.patchExitTo(EA, &FB);
+
+  // Native path.
+  std::vector<uint64_t> Tar(8, 0);
+  Tar[0] = 5; // guard fails -> goes through the stitched exit into FB
+  ExitDescriptor *Got = BE.enter(Tar.data(), &FA);
+  EXPECT_EQ(Got, FB.Exits[0].get());
+  EXPECT_EQ((int32_t)Tar[1], 777);
+
+  // Executor path follows Exit->Target the same way.
+  std::vector<uint64_t> Tar2(8, 0);
+  Tar2[0] = 5;
+  ExitDescriptor *Got2 = LirExecutor::run(&FA, (uint8_t *)Tar2.data(), &Ctx);
+  EXPECT_EQ(Got2, FB.Exits[0].get());
+  EXPECT_EQ((int32_t)Tar2[1], 777);
+}
