@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_nesting.dir/ablation_nesting.cpp.o"
+  "CMakeFiles/ablation_nesting.dir/ablation_nesting.cpp.o.d"
+  "ablation_nesting"
+  "ablation_nesting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_nesting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

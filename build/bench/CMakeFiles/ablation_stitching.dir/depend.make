@@ -1,0 +1,2 @@
+# Empty dependencies file for ablation_stitching.
+# This may be replaced when dependencies are built.

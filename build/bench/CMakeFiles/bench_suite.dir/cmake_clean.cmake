@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_suite.dir/suite.cpp.o"
+  "CMakeFiles/bench_suite.dir/suite.cpp.o.d"
+  "libbench_suite.a"
+  "libbench_suite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_suite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

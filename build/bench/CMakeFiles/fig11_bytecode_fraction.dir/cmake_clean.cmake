@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_bytecode_fraction.dir/fig11_bytecode_fraction.cpp.o"
+  "CMakeFiles/fig11_bytecode_fraction.dir/fig11_bytecode_fraction.cpp.o.d"
+  "fig11_bytecode_fraction"
+  "fig11_bytecode_fraction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_bytecode_fraction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

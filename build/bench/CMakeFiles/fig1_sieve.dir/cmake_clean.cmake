@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_sieve.dir/fig1_sieve.cpp.o"
+  "CMakeFiles/fig1_sieve.dir/fig1_sieve.cpp.o.d"
+  "fig1_sieve"
+  "fig1_sieve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_sieve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

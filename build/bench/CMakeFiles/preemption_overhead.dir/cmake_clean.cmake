@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/preemption_overhead.dir/preemption_overhead.cpp.o"
+  "CMakeFiles/preemption_overhead.dir/preemption_overhead.cpp.o.d"
+  "preemption_overhead"
+  "preemption_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/preemption_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/host_integration.dir/host_integration.cpp.o"
+  "CMakeFiles/host_integration.dir/host_integration.cpp.o.d"
+  "host_integration"
+  "host_integration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/host_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

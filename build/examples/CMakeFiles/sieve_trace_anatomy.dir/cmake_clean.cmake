@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sieve_trace_anatomy.dir/sieve_trace_anatomy.cpp.o"
+  "CMakeFiles/sieve_trace_anatomy.dir/sieve_trace_anatomy.cpp.o.d"
+  "sieve_trace_anatomy"
+  "sieve_trace_anatomy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sieve_trace_anatomy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

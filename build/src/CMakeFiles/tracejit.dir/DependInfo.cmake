@@ -1,0 +1,42 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/api/engine.cpp" "src/CMakeFiles/tracejit.dir/api/engine.cpp.o" "gcc" "src/CMakeFiles/tracejit.dir/api/engine.cpp.o.d"
+  "/root/repo/src/frontend/bytecode.cpp" "src/CMakeFiles/tracejit.dir/frontend/bytecode.cpp.o" "gcc" "src/CMakeFiles/tracejit.dir/frontend/bytecode.cpp.o.d"
+  "/root/repo/src/frontend/lexer.cpp" "src/CMakeFiles/tracejit.dir/frontend/lexer.cpp.o" "gcc" "src/CMakeFiles/tracejit.dir/frontend/lexer.cpp.o.d"
+  "/root/repo/src/frontend/parser.cpp" "src/CMakeFiles/tracejit.dir/frontend/parser.cpp.o" "gcc" "src/CMakeFiles/tracejit.dir/frontend/parser.cpp.o.d"
+  "/root/repo/src/interp/interpreter.cpp" "src/CMakeFiles/tracejit.dir/interp/interpreter.cpp.o" "gcc" "src/CMakeFiles/tracejit.dir/interp/interpreter.cpp.o.d"
+  "/root/repo/src/interp/natives.cpp" "src/CMakeFiles/tracejit.dir/interp/natives.cpp.o" "gcc" "src/CMakeFiles/tracejit.dir/interp/natives.cpp.o.d"
+  "/root/repo/src/jit/assembler_x64.cpp" "src/CMakeFiles/tracejit.dir/jit/assembler_x64.cpp.o" "gcc" "src/CMakeFiles/tracejit.dir/jit/assembler_x64.cpp.o.d"
+  "/root/repo/src/jit/compiler_x64.cpp" "src/CMakeFiles/tracejit.dir/jit/compiler_x64.cpp.o" "gcc" "src/CMakeFiles/tracejit.dir/jit/compiler_x64.cpp.o.d"
+  "/root/repo/src/jit/execmem.cpp" "src/CMakeFiles/tracejit.dir/jit/execmem.cpp.o" "gcc" "src/CMakeFiles/tracejit.dir/jit/execmem.cpp.o.d"
+  "/root/repo/src/jit/executor.cpp" "src/CMakeFiles/tracejit.dir/jit/executor.cpp.o" "gcc" "src/CMakeFiles/tracejit.dir/jit/executor.cpp.o.d"
+  "/root/repo/src/lir/backward.cpp" "src/CMakeFiles/tracejit.dir/lir/backward.cpp.o" "gcc" "src/CMakeFiles/tracejit.dir/lir/backward.cpp.o.d"
+  "/root/repo/src/lir/filters.cpp" "src/CMakeFiles/tracejit.dir/lir/filters.cpp.o" "gcc" "src/CMakeFiles/tracejit.dir/lir/filters.cpp.o.d"
+  "/root/repo/src/lir/lir.cpp" "src/CMakeFiles/tracejit.dir/lir/lir.cpp.o" "gcc" "src/CMakeFiles/tracejit.dir/lir/lir.cpp.o.d"
+  "/root/repo/src/lir/printer.cpp" "src/CMakeFiles/tracejit.dir/lir/printer.cpp.o" "gcc" "src/CMakeFiles/tracejit.dir/lir/printer.cpp.o.d"
+  "/root/repo/src/support/arena.cpp" "src/CMakeFiles/tracejit.dir/support/arena.cpp.o" "gcc" "src/CMakeFiles/tracejit.dir/support/arena.cpp.o.d"
+  "/root/repo/src/support/stats.cpp" "src/CMakeFiles/tracejit.dir/support/stats.cpp.o" "gcc" "src/CMakeFiles/tracejit.dir/support/stats.cpp.o.d"
+  "/root/repo/src/trace/helpers.cpp" "src/CMakeFiles/tracejit.dir/trace/helpers.cpp.o" "gcc" "src/CMakeFiles/tracejit.dir/trace/helpers.cpp.o.d"
+  "/root/repo/src/trace/monitor.cpp" "src/CMakeFiles/tracejit.dir/trace/monitor.cpp.o" "gcc" "src/CMakeFiles/tracejit.dir/trace/monitor.cpp.o.d"
+  "/root/repo/src/trace/recorder.cpp" "src/CMakeFiles/tracejit.dir/trace/recorder.cpp.o" "gcc" "src/CMakeFiles/tracejit.dir/trace/recorder.cpp.o.d"
+  "/root/repo/src/vm/gc.cpp" "src/CMakeFiles/tracejit.dir/vm/gc.cpp.o" "gcc" "src/CMakeFiles/tracejit.dir/vm/gc.cpp.o.d"
+  "/root/repo/src/vm/object.cpp" "src/CMakeFiles/tracejit.dir/vm/object.cpp.o" "gcc" "src/CMakeFiles/tracejit.dir/vm/object.cpp.o.d"
+  "/root/repo/src/vm/shape.cpp" "src/CMakeFiles/tracejit.dir/vm/shape.cpp.o" "gcc" "src/CMakeFiles/tracejit.dir/vm/shape.cpp.o.d"
+  "/root/repo/src/vm/string.cpp" "src/CMakeFiles/tracejit.dir/vm/string.cpp.o" "gcc" "src/CMakeFiles/tracejit.dir/vm/string.cpp.o.d"
+  "/root/repo/src/vm/value.cpp" "src/CMakeFiles/tracejit.dir/vm/value.cpp.o" "gcc" "src/CMakeFiles/tracejit.dir/vm/value.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

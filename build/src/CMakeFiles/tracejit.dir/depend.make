@@ -1,0 +1,2 @@
+# Empty dependencies file for tracejit.
+# This may be replaced when dependencies are built.

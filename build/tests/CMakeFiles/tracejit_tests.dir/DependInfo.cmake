@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_backend.cpp" "tests/CMakeFiles/tracejit_tests.dir/test_backend.cpp.o" "gcc" "tests/CMakeFiles/tracejit_tests.dir/test_backend.cpp.o.d"
+  "/root/repo/tests/test_frontend.cpp" "tests/CMakeFiles/tracejit_tests.dir/test_frontend.cpp.o" "gcc" "tests/CMakeFiles/tracejit_tests.dir/test_frontend.cpp.o.d"
+  "/root/repo/tests/test_fuzz.cpp" "tests/CMakeFiles/tracejit_tests.dir/test_fuzz.cpp.o" "gcc" "tests/CMakeFiles/tracejit_tests.dir/test_fuzz.cpp.o.d"
+  "/root/repo/tests/test_interpreter.cpp" "tests/CMakeFiles/tracejit_tests.dir/test_interpreter.cpp.o" "gcc" "tests/CMakeFiles/tracejit_tests.dir/test_interpreter.cpp.o.d"
+  "/root/repo/tests/test_jit.cpp" "tests/CMakeFiles/tracejit_tests.dir/test_jit.cpp.o" "gcc" "tests/CMakeFiles/tracejit_tests.dir/test_jit.cpp.o.d"
+  "/root/repo/tests/test_lir.cpp" "tests/CMakeFiles/tracejit_tests.dir/test_lir.cpp.o" "gcc" "tests/CMakeFiles/tracejit_tests.dir/test_lir.cpp.o.d"
+  "/root/repo/tests/test_runtime_units.cpp" "tests/CMakeFiles/tracejit_tests.dir/test_runtime_units.cpp.o" "gcc" "tests/CMakeFiles/tracejit_tests.dir/test_runtime_units.cpp.o.d"
+  "/root/repo/tests/test_trace_machinery.cpp" "tests/CMakeFiles/tracejit_tests.dir/test_trace_machinery.cpp.o" "gcc" "tests/CMakeFiles/tracejit_tests.dir/test_trace_machinery.cpp.o.d"
+  "/root/repo/tests/test_value.cpp" "tests/CMakeFiles/tracejit_tests.dir/test_value.cpp.o" "gcc" "tests/CMakeFiles/tracejit_tests.dir/test_value.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tracejit.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

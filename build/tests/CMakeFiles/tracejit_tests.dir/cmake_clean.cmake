@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tracejit_tests.dir/test_backend.cpp.o"
+  "CMakeFiles/tracejit_tests.dir/test_backend.cpp.o.d"
+  "CMakeFiles/tracejit_tests.dir/test_frontend.cpp.o"
+  "CMakeFiles/tracejit_tests.dir/test_frontend.cpp.o.d"
+  "CMakeFiles/tracejit_tests.dir/test_fuzz.cpp.o"
+  "CMakeFiles/tracejit_tests.dir/test_fuzz.cpp.o.d"
+  "CMakeFiles/tracejit_tests.dir/test_interpreter.cpp.o"
+  "CMakeFiles/tracejit_tests.dir/test_interpreter.cpp.o.d"
+  "CMakeFiles/tracejit_tests.dir/test_jit.cpp.o"
+  "CMakeFiles/tracejit_tests.dir/test_jit.cpp.o.d"
+  "CMakeFiles/tracejit_tests.dir/test_lir.cpp.o"
+  "CMakeFiles/tracejit_tests.dir/test_lir.cpp.o.d"
+  "CMakeFiles/tracejit_tests.dir/test_runtime_units.cpp.o"
+  "CMakeFiles/tracejit_tests.dir/test_runtime_units.cpp.o.d"
+  "CMakeFiles/tracejit_tests.dir/test_trace_machinery.cpp.o"
+  "CMakeFiles/tracejit_tests.dir/test_trace_machinery.cpp.o.d"
+  "CMakeFiles/tracejit_tests.dir/test_value.cpp.o"
+  "CMakeFiles/tracejit_tests.dir/test_value.cpp.o.d"
+  "tracejit_tests"
+  "tracejit_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tracejit_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
