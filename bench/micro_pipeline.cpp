@@ -96,7 +96,7 @@ static void BM_ColdStartToCompiledTrace(benchmark::State &State) {
     O.EnableJit = true;
     Engine E(O);
     auto R = E.eval(Src);
-    benchmark::DoNotOptimize(R.Ok);
+    benchmark::DoNotOptimize(R.ok());
   }
 }
 BENCHMARK(BM_ColdStartToCompiledTrace);
@@ -112,7 +112,7 @@ static void BM_TraceCallRoundTrip(benchmark::State &State) {
          " return s; } spin(1000);");
   for (auto _ : State) {
     auto R = E.eval("spin(64);");
-    benchmark::DoNotOptimize(R.Ok);
+    benchmark::DoNotOptimize(R.ok());
   }
 }
 BENCHMARK(BM_TraceCallRoundTrip);

@@ -569,9 +569,9 @@ RunResult runProgram(const BenchProgram &P, const EngineOptions &O,
     std::string Out;
     E.setPrintHook([&](const std::string &S) { Out += S; });
     auto Res = E.eval(P.Source);
-    if (!Res.Ok) {
+    if (!Res.ok()) {
       R.Ok = false;
-      R.Error = Res.Error;
+      R.Error = Res.Err.describe();
       return R;
     }
     Reference = Out;
@@ -586,9 +586,9 @@ RunResult runProgram(const BenchProgram &P, const EngineOptions &O,
     auto T0 = std::chrono::steady_clock::now();
     auto Res = E.eval(P.Source);
     auto T1 = std::chrono::steady_clock::now();
-    if (!Res.Ok) {
+    if (!Res.ok()) {
       R.Ok = false;
-      R.Error = Res.Error;
+      R.Error = Res.Err.describe();
       return R;
     }
     if (Out != Reference) {

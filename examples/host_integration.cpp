@@ -47,7 +47,7 @@ static void runConfig(const char *Label, const EngineOptions &Opts) {
     print(checksum('run', sum), sum);
   )js");
   printf("%-22s -> %s", Label,
-         R.Ok ? Out.c_str() : (R.Error + "\n").c_str());
+         R.ok() ? Out.c_str() : (R.Err.describe() + "\n").c_str());
 }
 
 int main() {
@@ -83,8 +83,8 @@ int main() {
     auto R = E.eval("var s = 0;\n"
                     "for (var i = 0; i < 500000; ++i) s += i & 15;\n"
                     "print('sum =', s);");
-    if (!R.Ok)
-      printf("error: %s\n", R.Error.c_str());
+    if (!R.ok())
+      printf("error: %s\n", R.Err.describe().c_str());
     printf("side exits observed: %llu (includes the preempt exit)\n",
            (unsigned long long)E.stats().SideExits);
   }

@@ -33,8 +33,8 @@ int main() {
       total = total + hypot(i, i + 1);
     print('total =', total);
   )js");
-  if (!R.Ok) {
-    std::cerr << R.Error << "\n";
+  if (!R.ok()) {
+    std::cerr << R.Err.describe() << "\n";
     return 1;
   }
 
@@ -52,7 +52,7 @@ int main() {
   E.eval("print('clamped:', hostClamp(3 * scale * 20));");
 
   // 5. Inspect what the JIT did.
-  const VMStats &S = E.stats();
+  VMStats S = E.stats();
   printf("\n--- VM statistics ---\n%s", S.report().c_str());
   return 0;
 }

@@ -66,8 +66,8 @@ int main(int argc, char **argv) {
         Src.rfind("print", 0) != 0)
       Src = "print(" + Src + ");";
     auto R = E->eval(Src);
-    if (!R.Ok)
-      std::cout << R.Error << "\n";
+    if (!R.ok())
+      std::cout << R.Err.describe() << "\n";
   }
   return 0;
 }

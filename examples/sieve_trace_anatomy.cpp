@@ -39,8 +39,8 @@ int main() {
     for (var n = 2; n < N; ++n) if (primes[n]) count = count + 1;
     print('primes below', N, '=', count);
   )js");
-  if (!R.Ok) {
-    fprintf(stderr, "%s\n", R.Error.c_str());
+  if (!R.ok()) {
+    fprintf(stderr, "%s\n", R.Err.describe().c_str());
     return 1;
   }
 
@@ -66,7 +66,7 @@ int main() {
              TreeCalls);
   }
 
-  const VMStats &S = E.stats();
+  VMStats S = E.stats();
   printf("\ntrees=%llu branches=%llu tree-calls=%llu stitched=%llu "
          "side-exits=%llu\n",
          (unsigned long long)S.TreesCompiled,

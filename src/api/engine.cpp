@@ -15,22 +15,38 @@ Engine::Engine(const EngineOptions &Opts) : Ctx(Opts) {
     Monitor = createTraceMonitor(Ctx, *Interp);
     Ctx.Monitor = Monitor.get();
   }
+  if (Opts.LogJitEvents) {
+    LogListener = std::make_unique<LogJitEventListener>();
+    Mux.add(LogListener.get());
+  }
+  if (Opts.CaptureTraceEvents) {
+    TraceCapture = std::make_unique<ChromeTraceCollector>();
+    Mux.add(TraceCapture.get());
+  }
+  refreshListenerGate();
 }
 
 Engine::~Engine() {
+  Ctx.EventListener = nullptr;
   Ctx.Monitor = nullptr; // monitor dies before the context it observes
 }
 
-Engine::Result Engine::eval(std::string_view Source) {
-  Result R;
+void Engine::refreshListenerGate() {
+  Ctx.EventListener = Mux.empty() ? nullptr : &Mux;
+}
+
+EvalResult Engine::eval(std::string_view Source) {
+  EvalResult R;
   Ctx.HasError = false;
   Ctx.ErrorMessage.clear();
+  Ctx.LastResult = Value::undefined();
 
-  std::string ParseError;
-  FunctionScript *Top = compileSource(Ctx, Source, &ParseError);
+  EngineError ParseErr;
+  FunctionScript *Top = compileSource(Ctx, Source, &ParseErr);
   if (!Top) {
+    R.Err = std::move(ParseErr);
     R.Ok = false;
-    R.Error = "SyntaxError: " + ParseError;
+    R.Error = R.Err.describe();
     return R;
   }
 
@@ -40,10 +56,14 @@ Engine::Result Engine::eval(std::string_view Source) {
   }
   Ctx.Stats.stopTiming();
   if (Ctx.HasError) {
+    R.Err.Kind = ErrorKind::Runtime;
+    R.Err.Message = Ctx.ErrorMessage;
     R.Ok = false;
-    R.Error = "RuntimeError: " + Ctx.ErrorMessage;
+    R.Error = R.Err.describe();
     Ctx.HasError = false;
+    return R;
   }
+  R.LastValue = Ctx.LastResult;
   return R;
 }
 
@@ -68,6 +88,35 @@ void Engine::registerNative(std::string_view Name, NativeFn Fn) {
   String *A = Ctx.Atoms.intern(Name);
   Object *F = Object::createNativeFunction(Ctx.TheHeap, Ctx.Shapes, Fn, A);
   Ctx.Globals.Values[Ctx.Globals.slotFor(A)] = Value::makeObject(F);
+}
+
+VMStats Engine::stats() const {
+  if (Monitor)
+    Monitor->syncStats();
+  return Ctx.Stats;
+}
+
+void Engine::addEventListener(JitEventListener *L) {
+  Mux.add(L);
+  refreshListenerGate();
+}
+
+void Engine::removeEventListener(JitEventListener *L) {
+  Mux.remove(L);
+  refreshListenerGate();
+}
+
+std::vector<FragmentProfile> Engine::fragmentProfiles() const {
+  std::vector<FragmentProfile> Out;
+  if (Monitor)
+    Monitor->collectFragmentProfiles(Out);
+  return Out;
+}
+
+bool Engine::exportTraceEvents(const std::string &Path) const {
+  if (!TraceCapture)
+    return false;
+  return TraceCapture->writeJson(Path);
 }
 
 } // namespace tracejit

@@ -1,16 +1,17 @@
 //===- engine.h - Public embedding API --------------------------------------===//
 //
 // The tracejit public API: create an Engine, eval MiniJS source, observe
-// results through globals/print, and inspect VM statistics. One Engine is
-// one VM: heap, globals, trace cache.
+// results through globals/print, and inspect the JIT through statistics,
+// per-fragment telemetry, and a structured event stream. One Engine is one
+// VM: heap, globals, trace cache.
 //
 // Example:
 //   tracejit::EngineOptions Opts;
 //   tracejit::Engine E(Opts);
 //   E.setPrintHook([](const std::string &S) { std::cout << S; });
-//   auto R = E.eval("var t = 0; for (var i = 0; i < 1e6; ++i) t += i;"
-//                   "print(t);");
-//   if (!R.Ok) std::cerr << R.Error << "\n";
+//   auto R = E.eval("var t = 0; for (var i = 0; i < 1e6; ++i) t += i; t;");
+//   if (!R.ok()) std::cerr << R.Err.describe() << "\n";
+//   else         std::cout << R.LastValue.asNumber() << "\n";
 //
 //===----------------------------------------------------------------------===//
 
@@ -21,11 +22,14 @@
 #include <memory>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "api/options.h"
+#include "api/result.h"
 #include "interp/interpreter.h"
 #include "interp/tracehooks.h"
 #include "interp/vmcontext.h"
+#include "support/events.h"
 
 namespace tracejit {
 
@@ -36,14 +40,14 @@ public:
   Engine(const Engine &) = delete;
   Engine &operator=(const Engine &) = delete;
 
-  struct Result {
-    bool Ok = true;
-    std::string Error;
-  };
+  /// Deprecated spelling of EvalResult (pre-redesign name).
+  using Result = EvalResult;
 
-  /// Compile and run a program. Compilation and runtime errors are
-  /// reported in the result; the engine stays usable afterwards.
-  Result eval(std::string_view Source);
+  /// Compile and run a program. Lex/parse/runtime errors are reported in
+  /// the result (with line/column where known); the engine stays usable
+  /// afterwards. On success, EvalResult::LastValue is the value of the
+  /// program's last top-level expression statement.
+  EvalResult eval(std::string_view Source);
 
   /// Where `print` output goes (default: stdout).
   void setPrintHook(std::function<void(const std::string &)> Hook);
@@ -55,12 +59,31 @@ public:
   /// Register a host function as a global (classic boxed FFI, §6.5).
   void registerNative(std::string_view Name, NativeFn Fn);
 
-  VMStats &stats() {
-    if (Monitor)
-      Monitor->syncStats();
-    return Ctx.Stats;
-  }
+  /// Snapshot of the VM statistics (trace-monitor counters synced first).
+  /// Returned by value: the snapshot stays frozen as the engine runs on.
+  VMStats stats() const;
+
   const EngineOptions &options() const { return Ctx.Opts; }
+
+  // --- Observability ---------------------------------------------------------
+
+  /// Attach/detach a listener for the structured JIT event stream. The
+  /// listener is borrowed, not owned, and runs synchronously on the VM's
+  /// hot path; with no listeners attached each event site costs one
+  /// predictable branch.
+  void addEventListener(JitEventListener *L);
+  void removeEventListener(JitEventListener *L);
+
+  /// Per-fragment telemetry snapshot for every fragment in the trace
+  /// cache: enters, iterations, per-guard side-exit histogram, LIR sizes
+  /// before/after filters, native code bytes. Empty when the JIT is off.
+  std::vector<FragmentProfile> fragmentProfiles() const;
+
+  /// Write the event stream recorded so far as Chrome trace-event JSON
+  /// (chrome://tracing, ui.perfetto.dev). Requires
+  /// EngineOptions::CaptureTraceEvents; returns false when capture is off
+  /// or the file cannot be written.
+  bool exportTraceEvents(const std::string &Path) const;
 
   /// Raise the preempt flag, as the host would to interrupt a hot loop
   /// (§6.4); the next loop edge -- interpreted or native -- services it.
@@ -71,9 +94,16 @@ public:
   Interpreter &interpreter() { return *Interp; }
 
 private:
+  /// Point Ctx.EventListener at the mux, or null when no sinks remain, so
+  /// the disabled path stays a single null check.
+  void refreshListenerGate();
+
   VMContext Ctx;
   std::unique_ptr<Interpreter> Interp;
   std::unique_ptr<TraceMonitor> Monitor;
+  JitEventMux Mux;
+  std::unique_ptr<LogJitEventListener> LogListener;   ///< Opts.LogJitEvents.
+  std::unique_ptr<ChromeTraceCollector> TraceCapture; ///< CaptureTraceEvents.
 };
 
 /// Factory defined by the trace engine; returns nullptr when \p Opts

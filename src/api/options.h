@@ -82,6 +82,14 @@ struct EngineOptions {
   /// Diagnostics: dump recorded LIR / filtered LIR / native code sizes.
   bool DumpLIR = false;
   bool DumpAssembly = false;
+
+  /// Observability: install the built-in stderr log listener (one line per
+  /// JIT event; see support/events.h).
+  bool LogJitEvents = false;
+
+  /// Observability: buffer the JIT event stream so
+  /// Engine::exportTraceEvents() can write Chrome trace-event JSON.
+  bool CaptureTraceEvents = false;
 };
 
 } // namespace tracejit

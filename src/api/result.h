@@ -1,0 +1,77 @@
+//===- result.h - Structured evaluation results -----------------------------===//
+//
+// Error/result types for the embedding API. Kept separate from engine.h so
+// the frontend can report structured errors without depending on the Engine.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef TRACEJIT_API_RESULT_H
+#define TRACEJIT_API_RESULT_H
+
+#include <cstdint>
+#include <string>
+
+#include "vm/value.h"
+
+namespace tracejit {
+
+/// Which stage of evaluation produced an error.
+enum class ErrorKind : uint8_t { None, Lex, Parse, Runtime };
+
+inline const char *errorKindName(ErrorKind K) {
+  switch (K) {
+  case ErrorKind::None:
+    return "none";
+  case ErrorKind::Lex:
+    return "lex";
+  case ErrorKind::Parse:
+    return "parse";
+  case ErrorKind::Runtime:
+    return "runtime";
+  }
+  return "?";
+}
+
+struct EngineError {
+  ErrorKind Kind = ErrorKind::None;
+  uint32_t Line = 0; ///< 1-based; 0 when unknown (typical for runtime errors).
+  uint32_t Col = 0;  ///< 1-based; 0 when unknown.
+  std::string Message;
+
+  explicit operator bool() const { return Kind != ErrorKind::None; }
+
+  /// One-line rendering, e.g. "SyntaxError: line 3, col 7: expected ';'".
+  std::string describe() const {
+    if (Kind == ErrorKind::None)
+      return "";
+    std::string Out =
+        Kind == ErrorKind::Runtime ? "RuntimeError: " : "SyntaxError: ";
+    if (Line) {
+      Out += "line " + std::to_string(Line);
+      if (Col)
+        Out += ", col " + std::to_string(Col);
+      Out += ": ";
+    }
+    Out += Message;
+    return Out;
+  }
+};
+
+/// Result of Engine::eval. On success LastValue holds the value of the
+/// program's last top-level expression statement (undefined when there is
+/// none); on failure Err describes what went wrong and where.
+struct EvalResult {
+  EngineError Err;
+  Value LastValue = Value::undefined();
+
+  bool ok() const { return Err.Kind == ErrorKind::None; }
+
+  // Deprecated pre-redesign fields, kept in sync by Engine::eval. New code
+  // should use ok() / Err.
+  bool Ok = true;
+  std::string Error;
+};
+
+} // namespace tracejit
+
+#endif // TRACEJIT_API_RESULT_H

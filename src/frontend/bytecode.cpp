@@ -11,6 +11,7 @@ namespace tracejit {
 static const OpInfo OpTable[] = {
     {"nop", 0},          {"loopheader", 2}, {"nop3", 2},
     {"pushconst", 2},    {"pushundef", 0},  {"pop", 0},
+    {"popresult", 0},
     {"dup", 0},          {"dup2", 0},       {"getlocal", 2},
     {"setlocal", 2},     {"getglobal", 2},  {"setglobal", 2},
     {"getprop", 2},      {"setprop", 2},    {"initprop", 2},

@@ -46,6 +46,10 @@ enum class Op : uint8_t {
   PushConst, // u16 const-pool index
   PushUndefined,
   Pop,
+  /// Pop like Pop, but also latch the value as the program result
+  /// (VMContext::LastResult). Emitted only for top-level expression
+  /// statements, so it never appears inside a traceable loop body.
+  PopResult,
   Dup,
   Dup2, // duplicate the top two stack slots (member compound assignment)
 

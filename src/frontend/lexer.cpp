@@ -15,14 +15,17 @@ void Lexer::skipTrivia() {
     } else if (C == '\n') {
       ++Pos;
       ++Line;
+      LineStart = Pos;
     } else if (C == '/' && peek(1) == '/') {
       while (peek() && peek() != '\n')
         ++Pos;
     } else if (C == '/' && peek(1) == '*') {
       Pos += 2;
       while (peek() && !(peek() == '*' && peek(1) == '/')) {
-        if (peek() == '\n')
+        if (peek() == '\n') {
           ++Line;
+          LineStart = Pos + 1;
+        }
         ++Pos;
       }
       if (peek())
@@ -37,7 +40,8 @@ Token Lexer::makeToken(Tok K, size_t Start) {
   Token T;
   T.Kind = K;
   T.Text = Src.substr(Start, Pos - Start);
-  T.Line = Line;
+  T.Line = TokLine;
+  T.Col = TokCol;
   return T;
 }
 
@@ -119,14 +123,17 @@ Token Lexer::stringLiteral(char Quote) {
   while (peek() && peek() != Quote) {
     if (peek() == '\\')
       ++Pos;
-    if (peek() == '\n')
+    if (peek() == '\n') {
       ++Line;
+      LineStart = Pos + 1;
+    }
     ++Pos;
   }
   Token T;
   T.Kind = peek() == Quote ? Tok::StringLit : Tok::Error;
   T.Text = Src.substr(Start, Pos - Start);
-  T.Line = Line;
+  T.Line = TokLine;
+  T.Col = TokCol;
   if (peek() == Quote)
     ++Pos;
   return T;
@@ -182,6 +189,8 @@ std::string decodeStringLiteral(std::string_view Raw) {
 Token Lexer::next() {
   skipTrivia();
   size_t Start = Pos;
+  TokLine = Line;
+  TokCol = (uint32_t)(Pos - LineStart) + 1;
   if (Pos >= Src.size())
     return makeToken(Tok::Eof, Start);
 

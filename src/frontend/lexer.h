@@ -86,6 +86,7 @@ struct Token {
   std::string_view Text;
   double NumValue = 0;
   uint32_t Line = 1;
+  uint32_t Col = 1; ///< 1-based column of the token's first character.
 };
 
 /// Hand-written scanner for the MiniJS subset: //- and /*-comments, decimal
@@ -117,6 +118,10 @@ private:
   std::string_view Src;
   size_t Pos = 0;
   uint32_t Line = 1;
+  size_t LineStart = 0; ///< Pos of the first character of the current line.
+  // Line/column of the token being scanned (latched by next()).
+  uint32_t TokLine = 1;
+  uint32_t TokCol = 1;
 };
 
 /// Decode the escapes in a raw string literal body (without quotes).

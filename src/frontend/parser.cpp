@@ -37,9 +37,13 @@ void Parser::errorAt(const Token &T, const std::string &Msg) {
   if (HadError)
     return;
   HadError = true;
-  ErrorMsg = "line " + std::to_string(T.Line) + ": " + Msg;
+  Err.Kind = T.Kind == Tok::Error ? ErrorKind::Lex : ErrorKind::Parse;
+  Err.Line = T.Line;
+  Err.Col = T.Col;
+  Err.Message = Msg;
   if (!T.Text.empty())
-    ErrorMsg += " (at '" + std::string(T.Text) + "')";
+    Err.Message += " (at '" + std::string(T.Text) + "')";
+  ErrorMsg = "line " + std::to_string(T.Line) + ": " + Err.Message;
 }
 
 // --- Emission ----------------------------------------------------------------
@@ -623,45 +627,47 @@ Parser::Ref Parser::parsePostfixChain(Ref R) {
 void Parser::statement() {
   if (HadError)
     return;
+  ++StmtDepth;
   switch (Cur.Kind) {
   case Tok::LBrace:
     advance();
     block();
-    return;
+    break;
   case Tok::KwVar:
     varStatement();
-    return;
+    break;
   case Tok::KwFunction:
     functionDeclaration();
-    return;
+    break;
   case Tok::KwIf:
     ifStatement();
-    return;
+    break;
   case Tok::KwWhile:
     whileStatement();
-    return;
+    break;
   case Tok::KwDo:
     doWhileStatement();
-    return;
+    break;
   case Tok::KwFor:
     forStatement();
-    return;
+    break;
   case Tok::KwBreak:
     breakStatement();
-    return;
+    break;
   case Tok::KwContinue:
     continueStatement();
-    return;
+    break;
   case Tok::KwReturn:
     returnStatement();
-    return;
+    break;
   case Tok::Semicolon:
     advance();
-    return;
+    break;
   default:
     expressionStatement();
-    return;
+    break;
   }
+  --StmtDepth;
 }
 
 void Parser::block() {
@@ -935,7 +941,13 @@ void Parser::returnStatement() {
 void Parser::expressionStatement() {
   expression();
   expect(Tok::Semicolon, "';'");
-  emitOp(Op::Pop, -1);
+  // Top-level expression statements feed the program's result value. Loop
+  // bodies and nested blocks sit at depth >= 2, so hot code keeps the plain
+  // Pop and traces never contain PopResult.
+  if (!InFunction && StmtDepth == 1)
+    emitOp(Op::PopResult, -1);
+  else
+    emitOp(Op::Pop, -1);
 }
 
 FunctionScript *Parser::parseProgram() {
@@ -951,6 +963,15 @@ FunctionScript *Parser::parseProgram() {
     statement();
   emitOp(Op::ReturnUndefined, 0);
   return HadError ? nullptr : Top;
+}
+
+FunctionScript *compileSource(VMContext &Ctx, std::string_view Source,
+                              EngineError *ErrorOut) {
+  Parser P(Ctx, Source);
+  FunctionScript *S = P.parseProgram();
+  if (!S && ErrorOut)
+    *ErrorOut = P.error();
+  return S;
 }
 
 FunctionScript *compileSource(VMContext &Ctx, std::string_view Source,

@@ -16,6 +16,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "api/result.h"
 #include "frontend/bytecode.h"
 #include "frontend/lexer.h"
 #include "interp/vmcontext.h"
@@ -33,6 +34,9 @@ public:
 
   bool hadError() const { return HadError; }
   const std::string &errorMessage() const { return ErrorMsg; }
+  /// Structured form of the first error (Kind is Lex for bad characters /
+  /// unterminated strings, Parse otherwise), with the token's line/column.
+  const EngineError &error() const { return Err; }
 
 private:
   // --- Token plumbing -------------------------------------------------------
@@ -56,6 +60,10 @@ private:
   std::unordered_map<std::string, uint16_t> Locals;
   std::vector<LoopCtx> LoopStack;
   int StackDepth = 0;
+  /// Statement nesting depth; 1 = directly at program/function top level.
+  /// Top-level (depth-1, non-function) expression statements emit PopResult
+  /// so the engine can report the program's last expression value.
+  int StmtDepth = 0;
 
   // --- Emission ---------------------------------------------------------------
   void emitOp(Op O, int StackDelta);
@@ -133,10 +141,15 @@ private:
   Token Prev;
   bool HadError = false;
   std::string ErrorMsg;
+  EngineError Err;
 };
 
 /// Convenience entry point: compile \p Source, returning the top-level
-/// script or nullptr (error in Ctx-independent message out-param).
+/// script or nullptr (structured error in the out-param).
+FunctionScript *compileSource(VMContext &Ctx, std::string_view Source,
+                              EngineError *ErrorOut);
+
+/// Legacy convenience overload: error as a flat message string.
 FunctionScript *compileSource(VMContext &Ctx, std::string_view Source,
                               std::string *ErrorOut);
 

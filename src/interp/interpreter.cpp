@@ -324,6 +324,10 @@ Value Interpreter::dispatchUntil(size_t StopDepth) {
       --Sp;
       ++Pc;
       break;
+    case Op::PopResult:
+      Ctx.LastResult = Stack[--Sp];
+      ++Pc;
+      break;
     case Op::Dup:
       Stack[Sp] = Stack[Sp - 1];
       ++Sp;

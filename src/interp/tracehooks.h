@@ -12,6 +12,9 @@
 #define TRACEJIT_INTERP_TRACEHOOKS_H
 
 #include <cstdint>
+#include <vector>
+
+#include "support/events.h"
 
 namespace tracejit {
 
@@ -42,6 +45,13 @@ public:
   /// Fold derived statistics (e.g. the Figure 11 native-bytecode estimate,
   /// summed over fragments) into VMStats before it is read.
   virtual void syncStats() {}
+
+  /// Snapshot per-fragment telemetry (enter counts, iterations, per-guard
+  /// side-exit histograms, LIR/native sizes) into \p Out. Appends one
+  /// FragmentProfile per fragment ever created, including aborted ones.
+  virtual void collectFragmentProfiles(std::vector<FragmentProfile> &Out) const {
+    (void)Out;
+  }
 };
 
 } // namespace tracejit

@@ -62,6 +62,7 @@ struct VMContext {
       for (auto &S : Scripts)
         for (Value &V : S->Consts)
           M.markValue(V);
+      M.markValue(LastResult);
     });
   }
 
@@ -75,6 +76,28 @@ struct VMContext {
 
   /// Created lazily when the JIT is enabled. Owned by the Engine.
   TraceMonitor *Monitor = nullptr;
+
+  /// The installed JIT event listener (null = observability off). Every
+  /// emission site is gated on this single pointer so a disabled engine
+  /// pays one predictable branch per site. Owned by the Engine (usually a
+  /// JitEventMux fanning out to user and built-in listeners).
+  JitEventListener *EventListener = nullptr;
+  /// Timebase for JitEvent::TimeUs (engine creation).
+  std::chrono::steady_clock::time_point EventEpoch =
+      std::chrono::steady_clock::now();
+
+  /// Stamp and deliver \p E. Callers check EventListener first so the
+  /// disabled path constructs nothing.
+  void emitEvent(JitEvent E) {
+    E.TimeUs = (uint64_t)std::chrono::duration_cast<std::chrono::microseconds>(
+                   std::chrono::steady_clock::now() - EventEpoch)
+                   .count();
+    EventListener->onEvent(E);
+  }
+
+  /// Value of the last top-level expression statement (Op::PopResult);
+  /// surfaced through EvalResult::LastValue. GC-rooted until overwritten.
+  Value LastResult = Value::undefined();
 
   /// The preempt flag: set by GC pressure (or tests); every compiled loop
   /// edge guards on it being zero (§6.4). Must have a stable address that
@@ -132,6 +155,12 @@ struct VMContext {
     if (TheHeap.wantsGC()) {
       TheHeap.collect();
       ++Stats.GCs;
+      if (EventListener) {
+        JitEvent E;
+        E.Kind = JitEventKind::GC;
+        E.Arg0 = Stats.GCs;
+        emitEvent(E);
+      }
     }
   }
 };

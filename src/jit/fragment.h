@@ -120,7 +120,15 @@ public:
   // (Exit->Target serves both backends; PatchAddr is native-only.)
 
   /// Iterations executed (entries via trampoline or internal loop edges).
+  /// Counted by LIR instrumentation, so only in CollectStats builds.
   uint64_t Iterations = 0;
+
+  // --- Telemetry (FragmentProfile sources; see support/events.h) -----------
+  /// Monitor-mediated entries (trampoline calls); always counted.
+  uint64_t Enters = 0;
+  /// LIR instruction counts as recorded and after the backward filters.
+  uint32_t LirRecorded = 0;
+  uint32_t LirAfterFilters = 0;
 
   ExitDescriptor *makeExit() {
     Exits.push_back(std::make_unique<ExitDescriptor>());

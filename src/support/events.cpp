@@ -1,0 +1,289 @@
+//===- events.cpp - Structured JIT observability ----------------------------===//
+
+#include "support/events.h"
+
+#include <algorithm>
+#include <cinttypes>
+
+#include "jit/fragment.h"
+
+namespace tracejit {
+
+const char *abortReasonName(AbortReason R) {
+  switch (R) {
+  case AbortReason::None:
+    return "none";
+  case AbortReason::UntrackedSlot:
+    return "untracked-slot";
+  case AbortReason::NonNumericArith:
+    return "non-numeric-arith";
+  case AbortReason::MixedConcat:
+    return "mixed-concat";
+  case AbortReason::UntraceableCompare:
+    return "untraceable-compare";
+  case AbortReason::NonNumericBitop:
+    return "non-numeric-bitop";
+  case AbortReason::NonNumericIndex:
+    return "non-numeric-index";
+  case AbortReason::PropOnPrimitive:
+    return "prop-on-primitive";
+  case AbortReason::PropAddsSlot:
+    return "prop-adds-slot";
+  case AbortReason::UnknownStringProp:
+    return "unknown-string-prop";
+  case AbortReason::ElemOnNonArray:
+    return "elem-on-non-array";
+  case AbortReason::InitPropOnNonObject:
+    return "initprop-on-non-object";
+  case AbortReason::RecursiveCall:
+    return "recursive-call";
+  case AbortReason::InlineDepthLimit:
+    return "inline-depth-limit";
+  case AbortReason::CallOfNonFunction:
+    return "call-of-non-function";
+  case AbortReason::UntraceableNative:
+    return "untraceable-native";
+  case AbortReason::UnsupportedReceiver:
+    return "unsupported-receiver";
+  case AbortReason::ReturnBelowEntryFrame:
+    return "return-below-entry-frame";
+  case AbortReason::TraceTooLong:
+    return "trace-too-long";
+  case AbortReason::UnsupportedBytecode:
+    return "unsupported-bytecode";
+  case AbortReason::NestingDisabled:
+    return "nesting-disabled";
+  case AbortReason::InnerTreeNotReady:
+    return "inner-tree-not-ready";
+  case AbortReason::InnerTreeSideExit:
+    return "inner-tree-side-exit";
+  case AbortReason::PreemptedInInnerCall:
+    return "preempted-in-inner-call";
+  case AbortReason::DispatchUnwound:
+    return "dispatch-unwound";
+  case AbortReason::TypecheckFailed:
+    return "typecheck-failed";
+  case AbortReason::NumReasons:
+    break;
+  }
+  return "?";
+}
+
+const char *jitEventKindName(JitEventKind K) {
+  switch (K) {
+  case JitEventKind::LoopHot:
+    return "LoopHot";
+  case JitEventKind::RecordStart:
+    return "RecordStart";
+  case JitEventKind::RecordAbort:
+    return "RecordAbort";
+  case JitEventKind::TreeCompiled:
+    return "TreeCompiled";
+  case JitEventKind::BranchCompiled:
+    return "BranchCompiled";
+  case JitEventKind::SideExit:
+    return "SideExit";
+  case JitEventKind::Blacklisted:
+    return "Blacklisted";
+  case JitEventKind::TreeCall:
+    return "TreeCall";
+  case JitEventKind::StitchedTransfer:
+    return "StitchedTransfer";
+  case JitEventKind::GC:
+    return "GC";
+  case JitEventKind::NumKinds:
+    break;
+  }
+  return "?";
+}
+
+// --- JitEventMux ---------------------------------------------------------------
+
+void JitEventMux::add(JitEventListener *L) {
+  if (L && std::find(Sinks.begin(), Sinks.end(), L) == Sinks.end())
+    Sinks.push_back(L);
+}
+
+bool JitEventMux::remove(JitEventListener *L) {
+  auto It = std::find(Sinks.begin(), Sinks.end(), L);
+  if (It == Sinks.end())
+    return false;
+  Sinks.erase(It);
+  return true;
+}
+
+void JitEventMux::onEvent(const JitEvent &E) {
+  for (JitEventListener *L : Sinks)
+    L->onEvent(E);
+}
+
+// --- LogJitEventListener -------------------------------------------------------
+
+std::string LogJitEventListener::format(const JitEvent &E) {
+  char Buf[256];
+  std::string Out;
+  snprintf(Buf, sizeof(Buf), "%-16s", jitEventKindName(E.Kind));
+  Out += Buf;
+  if (E.FragmentId != ~0u) {
+    snprintf(Buf, sizeof(Buf), " frag=%u", E.FragmentId);
+    Out += Buf;
+  }
+  if (E.ScriptId != ~0u) {
+    snprintf(Buf, sizeof(Buf), " script=%u pc=%u", E.ScriptId, E.Pc);
+    Out += Buf;
+  }
+  switch (E.Kind) {
+  case JitEventKind::LoopHot:
+    snprintf(Buf, sizeof(Buf), " hits=%" PRIu64, E.Arg0);
+    Out += Buf;
+    break;
+  case JitEventKind::RecordAbort:
+    snprintf(Buf, sizeof(Buf), " reason=%s", abortReasonName(E.Reason));
+    Out += Buf;
+    break;
+  case JitEventKind::TreeCompiled:
+  case JitEventKind::BranchCompiled:
+    snprintf(Buf, sizeof(Buf), " lir=%" PRIu64 " native-bytes=%" PRIu64,
+             E.Arg0, E.Arg1);
+    Out += Buf;
+    break;
+  case JitEventKind::SideExit:
+    snprintf(Buf, sizeof(Buf), " guard=%u kind=%s hits=%" PRIu64, E.ExitId,
+             exitKindName((ExitKind)E.ExitKindRaw), E.Arg0);
+    Out += Buf;
+    break;
+  case JitEventKind::StitchedTransfer:
+    snprintf(Buf, sizeof(Buf), " guard=%u -> frag=%" PRIu64 "%s", E.ExitId,
+             E.Arg0, E.Arg1 ? " (unstable-link)" : "");
+    Out += Buf;
+    break;
+  case JitEventKind::TreeCall:
+    snprintf(Buf, sizeof(Buf), " outer-frag=%" PRIu64, E.Arg0);
+    Out += Buf;
+    break;
+  case JitEventKind::GC:
+    snprintf(Buf, sizeof(Buf), " collections=%" PRIu64, E.Arg0);
+    Out += Buf;
+    break;
+  default:
+    break;
+  }
+  return Out;
+}
+
+void LogJitEventListener::onEvent(const JitEvent &E) {
+  fprintf(Out, "[jit +%08" PRIu64 "us] %s\n", E.TimeUs, format(E).c_str());
+}
+
+// --- ChromeTraceCollector ------------------------------------------------------
+
+/// Append one trace-event object. \p Ph is the Chrome phase ("i", "B",
+/// "E"); instant events get the thread scope required by the viewer.
+static void appendChromeEvent(std::string &Out, const char *Name,
+                              const char *Ph, uint64_t Ts,
+                              const std::string &Args, bool First) {
+  char Buf[256];
+  if (!First)
+    Out += ",\n";
+  snprintf(Buf, sizeof(Buf),
+           "    {\"name\": \"%s\", \"ph\": \"%s\", \"ts\": %" PRIu64
+           ", \"pid\": 1, \"tid\": 1",
+           Name, Ph, Ts);
+  Out += Buf;
+  if (Ph[0] == 'i')
+    Out += ", \"s\": \"t\"";
+  if (!Args.empty())
+    Out += ", \"args\": {" + Args + "}";
+  Out += "}";
+}
+
+static std::string numArg(const char *Key, uint64_t V, bool First = false) {
+  char Buf[96];
+  snprintf(Buf, sizeof(Buf), "%s\"%s\": %" PRIu64, First ? "" : ", ", Key, V);
+  return Buf;
+}
+
+static std::string strArg(const char *Key, const char *V, bool First = false) {
+  std::string Out = First ? "" : ", ";
+  Out += "\"";
+  Out += Key;
+  Out += "\": \"";
+  Out += V; // all producers pass identifier-safe static strings
+  Out += "\"";
+  return Out;
+}
+
+std::string ChromeTraceCollector::renderJson() const {
+  std::string Out = "{\n  \"displayTimeUnit\": \"ms\",\n"
+                    "  \"traceEvents\": [\n";
+  bool First = true;
+  char Name[64];
+  for (const JitEvent &E : Events) {
+    std::string Args;
+    if (E.FragmentId != ~0u)
+      Args += numArg("fragment", E.FragmentId, Args.empty());
+    if (E.ScriptId != ~0u) {
+      Args += numArg("script", E.ScriptId, Args.empty());
+      Args += numArg("pc", E.Pc);
+    }
+    switch (E.Kind) {
+    case JitEventKind::RecordStart:
+      // Recording sessions render as duration slices: B here, E at the
+      // matching TreeCompiled/BranchCompiled/RecordAbort.
+      snprintf(Name, sizeof(Name), "record frag %u", E.FragmentId);
+      appendChromeEvent(Out, Name, "B", E.TimeUs, Args, First);
+      First = false;
+      continue;
+    case JitEventKind::TreeCompiled:
+    case JitEventKind::BranchCompiled:
+      Args += numArg("lir", E.Arg0);
+      Args += numArg("nativeBytes", E.Arg1);
+      snprintf(Name, sizeof(Name), "record frag %u", E.FragmentId);
+      appendChromeEvent(Out, Name, "E", E.TimeUs, "", First);
+      First = false;
+      break;
+    case JitEventKind::RecordAbort:
+      Args += strArg("reason", abortReasonName(E.Reason), Args.empty());
+      snprintf(Name, sizeof(Name), "record frag %u", E.FragmentId);
+      appendChromeEvent(Out, Name, "E", E.TimeUs, "", First);
+      First = false;
+      break;
+    case JitEventKind::SideExit:
+      Args += numArg("guard", E.ExitId, Args.empty());
+      Args += strArg("exitKind", exitKindName((ExitKind)E.ExitKindRaw));
+      Args += numArg("hits", E.Arg0);
+      break;
+    case JitEventKind::LoopHot:
+      Args += numArg("hits", E.Arg0, Args.empty());
+      break;
+    case JitEventKind::StitchedTransfer:
+      Args += numArg("guard", E.ExitId, Args.empty());
+      Args += numArg("target", E.Arg0);
+      break;
+    case JitEventKind::TreeCall:
+      Args += numArg("outerFragment", E.Arg0, Args.empty());
+      break;
+    case JitEventKind::GC:
+      Args += numArg("collections", E.Arg0, Args.empty());
+      break;
+    default:
+      break;
+    }
+    appendChromeEvent(Out, jitEventKindName(E.Kind), "i", E.TimeUs, Args,
+                      First);
+    First = false;
+  }
+  Out += "\n  ]\n}\n";
+  return Out;
+}
+
+bool ChromeTraceCollector::writeJson(const std::string &Path) const {
+  FILE *F = fopen(Path.c_str(), "w");
+  if (!F)
+    return false;
+  std::string J = renderJson();
+  size_t W = fwrite(J.data(), 1, J.size(), F);
+  return fclose(F) == 0 && W == J.size();
+}
+
+} // namespace tracejit

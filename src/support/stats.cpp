@@ -51,6 +51,17 @@ std::string VMStats::report() const {
            (unsigned long long)TreeCalls, (unsigned long long)UnstableLinks,
            (unsigned long long)LoopsBlacklisted);
   Out += Buf;
+  if (TracesAborted > 0) {
+    Out += "aborts by reason:\n";
+    for (size_t R = 0; R < (size_t)AbortReason::NumReasons; ++R) {
+      if (AbortsByReason[R] == 0)
+        continue;
+      snprintf(Buf, sizeof(Buf), "  %-24s %llu\n",
+               abortReasonName((AbortReason)R),
+               (unsigned long long)AbortsByReason[R]);
+      Out += Buf;
+    }
+  }
   double Total = totalSeconds();
   for (size_t I = 0; I < (size_t)Activity::NumActivities; ++I) {
     double S = ActivitySeconds[I];

@@ -15,6 +15,8 @@
 #include <cstdint>
 #include <string>
 
+#include "support/events.h"
+
 namespace tracejit {
 
 /// The activities of the Figure 2 state machine. `Native` is the dark box;
@@ -46,6 +48,8 @@ struct VMStats {
   uint64_t TracesStarted = 0;
   uint64_t TracesCompleted = 0;
   uint64_t TracesAborted = 0;
+  /// TracesAborted broken down by the taxonomy in events.h.
+  std::array<uint64_t, (size_t)AbortReason::NumReasons> AbortsByReason{};
   uint64_t TreesCompiled = 0;
   uint64_t BranchesCompiled = 0;
   uint64_t SideExits = 0;

@@ -33,6 +33,38 @@ TraceMonitorImpl::~TraceMonitorImpl() = default;
 
 VMStats &TraceMonitorImpl::stats() { return Ctx.Stats; }
 
+void TraceMonitorImpl::emitEvent(const JitEvent &E) { Ctx.emitEvent(E); }
+
+void TraceMonitorImpl::collectFragmentProfiles(
+    std::vector<FragmentProfile> &Out) const {
+  Out.reserve(Out.size() + Fragments.size());
+  for (const auto &F : Fragments) {
+    FragmentProfile P;
+    P.Id = F->Id;
+    P.IsRoot = F->Kind == FragmentKind::Root;
+    P.ScriptId = F->AnchorScript ? F->AnchorScript->Id : ~0u;
+    P.AnchorPc = F->AnchorPc;
+    P.Enters = F->Enters;
+    P.Iterations = F->Iterations;
+    P.BytecodesCovered = F->BytecodesCovered;
+    P.LirRecorded = F->LirRecorded;
+    P.LirAfterFilters = F->LirAfterFilters;
+    P.NativeBytes = F->NativeSize;
+    P.Guards.reserve(F->Exits.size());
+    for (const auto &E : F->Exits) {
+      GuardProfile G;
+      G.ExitId = E->Id;
+      G.ExitKindRaw = (uint8_t)E->Kind;
+      G.ExitKindName = exitKindName(E->Kind);
+      G.Pc = E->Pc;
+      G.Hits = E->Hits;
+      G.Stitched = E->Target != nullptr;
+      P.Guards.push_back(G);
+    }
+    Out.push_back(std::move(P));
+  }
+}
+
 Fragment *TraceMonitorImpl::newFragment(FragmentKind K) {
   auto F = std::make_unique<Fragment>();
   F->Id = NextFragmentId++;
@@ -234,6 +266,7 @@ ExitDescriptor *TraceMonitorImpl::executeFragment(Fragment *Frag) {
 
   ++Ctx.Stats.TraceEnters;
   ++Ctx.Stats.SideExits;
+  ++Frag->Enters;
   if (E && E->Kind == ExitKind::Nested) {
     assert(Ctx.LastNestedExit && "nested exit without inner descriptor");
     E = Ctx.LastNestedExit;
@@ -241,6 +274,19 @@ ExitDescriptor *TraceMonitorImpl::executeFragment(Fragment *Frag) {
   }
   assert(E && "fragment returned no exit");
   ++E->Hits;
+  if (Ctx.EventListener) {
+    JitEvent Ev;
+    Ev.Kind = JitEventKind::SideExit;
+    Ev.FragmentId = E->Parent ? E->Parent->Id : Frag->Id;
+    Ev.ScriptId = !E->Frames.empty() && E->Frames.back().Script
+                      ? E->Frames.back().Script->Id
+                      : ~0u;
+    Ev.Pc = E->Pc;
+    Ev.ExitId = E->Id;
+    Ev.ExitKindRaw = (uint8_t)E->Kind;
+    Ev.Arg0 = E->Hits;
+    emitEvent(Ev);
+  }
 
   restoreFromExit(E);
   if (Stats)
@@ -275,22 +321,41 @@ void TraceMonitorImpl::startRecording(TraceRecorder::Mode Mode, LoopState *LS,
                                              LS->Loop, AnchorExit);
   RecorderLoopState = LS;
   ++Ctx.Stats.TracesStarted;
+  if (Ctx.EventListener) {
+    JitEvent E;
+    E.Kind = JitEventKind::RecordStart;
+    E.FragmentId = F->Id;
+    E.ScriptId = LS->Script ? LS->Script->Id : ~0u;
+    E.Pc = AnchorPc;
+    E.Arg0 = Mode == TraceRecorder::Mode::Root ? 0 : 1;
+    emitEvent(E);
+  }
   if (Ctx.Opts.CollectStats)
     Ctx.Stats.switchTo(Activity::RecordInterpret);
   (void)Script;
 }
 
-void TraceMonitorImpl::abortRecording(const std::string &Why,
+void TraceMonitorImpl::abortRecording(AbortReason Why,
                                       bool CountsTowardBlacklist) {
   if (!Recorder)
     return;
   ++Ctx.Stats.TracesAborted;
+  ++Ctx.Stats.AbortsByReason[(size_t)Why];
   LoopState *LS = RecorderLoopState;
   Fragment *F = Recorder->fragment();
   bool WasBranch = Recorder->mode() == TraceRecorder::Mode::Branch;
   F->Body.clear(); // fragment stays allocated (ids/roots) but is inert
   Recorder.reset();
   RecorderLoopState = nullptr;
+  if (Ctx.EventListener) {
+    JitEvent E;
+    E.Kind = JitEventKind::RecordAbort;
+    E.Reason = Why;
+    E.FragmentId = F->Id;
+    E.ScriptId = F->AnchorScript ? F->AnchorScript->Id : ~0u;
+    E.Pc = F->AnchorPc;
+    emitEvent(E);
+  }
 
   if (WasBranch) {
     // Branch failures are tracked per side exit, not per loop: the tree is
@@ -326,6 +391,14 @@ void TraceMonitorImpl::blacklist(LoopState *LS) {
     return;
   LS->Blacklisted = true;
   ++Ctx.Stats.LoopsBlacklisted;
+  if (Ctx.EventListener) {
+    JitEvent E;
+    E.Kind = JitEventKind::Blacklisted;
+    E.ScriptId = LS->Script ? LS->Script->Id : ~0u;
+    E.Pc = LS->Loop->HeaderPc;
+    E.Arg0 = LS->Failures;
+    emitEvent(E);
+  }
   // "To blacklist a fragment, we simply replace the loop header no-op with
   // a regular no-op. Thus, the interpreter will never again even call into
   // the trace monitor." (§3.3)
@@ -350,6 +423,15 @@ void TraceMonitorImpl::linkUnstableExits(LoopState *LS, Fragment *NewPeer) {
       else
         E->Target = NewPeer;
       ++Ctx.Stats.UnstableLinks;
+      if (Ctx.EventListener) {
+        JitEvent Ev;
+        Ev.Kind = JitEventKind::StitchedTransfer;
+        Ev.FragmentId = E->Parent ? E->Parent->Id : ~0u;
+        Ev.ExitId = E->Id;
+        Ev.Arg0 = NewPeer->Id;
+        Ev.Arg1 = 1; // unstable-peer link, not a branch stitch
+        emitEvent(Ev);
+      }
     }
   }
 }
@@ -384,6 +466,7 @@ void TraceMonitorImpl::finishRecording(const std::vector<Fragment *> &Peers) {
   if (Ctx.Opts.Filters & FilterDCE)
     eliminateDeadCode(F->Body);
   Ctx.Stats.LirAfterBackwardFilters += F->Body.size();
+  F->LirAfterFilters = (uint32_t)F->Body.size();
 
   if (Ctx.Opts.DumpLIR) {
     fprintf(stderr, "--- fragment %u (%s) entry %s\n%s", F->Id,
@@ -395,6 +478,16 @@ void TraceMonitorImpl::finishRecording(const std::vector<Fragment *> &Peers) {
   if (!TypeErr.empty()) {
     fprintf(stderr, "tracejit: LIR typecheck failed: %s\n", TypeErr.c_str());
     F->Body.clear();
+    ++Ctx.Stats.AbortsByReason[(size_t)AbortReason::TypecheckFailed];
+    if (Ctx.EventListener) {
+      JitEvent E;
+      E.Kind = JitEventKind::RecordAbort;
+      E.Reason = AbortReason::TypecheckFailed;
+      E.FragmentId = F->Id;
+      E.ScriptId = F->AnchorScript ? F->AnchorScript->Id : ~0u;
+      E.Pc = F->AnchorPc;
+      emitEvent(E);
+    }
     if (Stats)
       Ctx.Stats.switchTo(Activity::Interpret);
     return;
@@ -411,6 +504,17 @@ void TraceMonitorImpl::finishRecording(const std::vector<Fragment *> &Peers) {
   }
 
   ++Ctx.Stats.TracesCompleted;
+  if (Ctx.EventListener) {
+    JitEvent E;
+    E.Kind = F->Kind == FragmentKind::Root ? JitEventKind::TreeCompiled
+                                           : JitEventKind::BranchCompiled;
+    E.FragmentId = F->Id;
+    E.ScriptId = F->AnchorScript ? F->AnchorScript->Id : ~0u;
+    E.Pc = F->AnchorPc;
+    E.Arg0 = F->LirAfterFilters;
+    E.Arg1 = F->NativeSize;
+    emitEvent(E);
+  }
   if (F->Kind == FragmentKind::Root) {
     ++Ctx.Stats.TreesCompiled;
     LS->Peers.push_back(F);
@@ -425,6 +529,14 @@ void TraceMonitorImpl::finishRecording(const std::vector<Fragment *> &Peers) {
       else
         Anchor->Target = F;
       ++Ctx.Stats.StitchedTransfers;
+      if (Ctx.EventListener) {
+        JitEvent E;
+        E.Kind = JitEventKind::StitchedTransfer;
+        E.FragmentId = Anchor->Parent ? Anchor->Parent->Id : ~0u;
+        E.ExitId = Anchor->Id;
+        E.Arg0 = F->Id;
+        emitEvent(E);
+      }
     }
     RecorderAnchorExit = nullptr;
   }
@@ -443,7 +555,7 @@ void TraceMonitorImpl::finishRecording(const std::vector<Fragment *> &Peers) {
 
 void TraceMonitorImpl::flushRecorder() {
   if (Recorder)
-    abortRecording("dispatch unwound while recording", false);
+    abortRecording(AbortReason::DispatchUnwound, false);
 }
 
 void TraceMonitorImpl::syncStats() {
@@ -477,7 +589,7 @@ uint32_t TraceMonitorImpl::handleInnerLoopHeader(uint32_t Pc,
 
   if (!Ctx.Opts.EnableNesting) {
     // Ablation: the "give up on outer loops" strawman (§4, Figure 7).
-    abortRecording("inner loop header (nesting disabled)", true);
+    abortRecording(AbortReason::NestingDisabled, true);
     return Pc; // fall through to normal handling by the caller
   }
 
@@ -497,7 +609,7 @@ uint32_t TraceMonitorImpl::handleInnerLoopHeader(uint32_t Pc,
     }
   }
   if (!Inner) {
-    abortRecording("inner tree not yet compiled", false);
+    abortRecording(AbortReason::InnerTreeNotReady, false);
     return Pc;
   }
   Recorder->coerceTo(Inner->EntryTypes);
@@ -511,14 +623,14 @@ uint32_t TraceMonitorImpl::handleInnerLoopHeader(uint32_t Pc,
       (E->Pc < InnerLS->Loop->HeaderPc || E->Pc >= InnerLS->Loop->EndPc);
 
   if (E->Kind == ExitKind::Preempt) {
-    abortRecording("preempted while calling inner tree", false);
+    abortRecording(AbortReason::PreemptedInInnerCall, false);
     Ctx.servicePreempt();
     return E->Pc;
   }
   if (!LeftInnerLoop) {
     // The inner tree took a side exit inside the loop: abort the outer
     // trace and grow the inner tree instead (§4.1).
-    abortRecording("inner tree side exit", false);
+    abortRecording(AbortReason::InnerTreeSideExit, false);
     handleExit(E);
     return Interp.currentPc();
   }
@@ -644,6 +756,15 @@ uint32_t TraceMonitorImpl::onLoopEdge(Interpreter &I, uint32_t Pc,
 
   // --- Hotness counting / starting a tree (§3.2) ------------------------------------
   ++LS->HitCount;
+  if (Ctx.EventListener && LS->HitCount == Ctx.Opts.HotLoopThreshold &&
+      !LS->Blacklisted) {
+    JitEvent E;
+    E.Kind = JitEventKind::LoopHot;
+    E.ScriptId = S->Id;
+    E.Pc = Pc;
+    E.Arg0 = LS->HitCount;
+    emitEvent(E);
+  }
   if (LS->Blacklisted || LS->HitCount < Ctx.Opts.HotLoopThreshold ||
       LS->HitCount < LS->BackoffUntil ||
       LS->Peers.size() >= MaxPeersPerLoop) {

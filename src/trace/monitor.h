@@ -52,6 +52,7 @@ public:
   void recordOp(Interpreter &I, uint32_t Pc) override;
   void flushRecorder() override;
   void syncStats() override;
+  void collectFragmentProfiles(std::vector<FragmentProfile> &Out) const override;
 
   // --- Services for the recorder ----------------------------------------------
   Arena &lirArena() { return LirArena; }
@@ -96,7 +97,10 @@ private:
 
   /// Recording ended at its anchor: run backward filters, compile, link.
   void finishRecording(const std::vector<Fragment *> &Peers);
-  void abortRecording(const std::string &Why, bool CountsTowardBlacklist);
+  void abortRecording(AbortReason Why, bool CountsTowardBlacklist);
+
+  /// Stamp and deliver a JitEvent (call sites gate on Ctx.EventListener).
+  void emitEvent(const JitEvent &E);
 
   /// Try to link type-unstable exits of peers in \p LS to \p NewPeer and
   /// vice versa ("we attempt to connect their loop edges", §3.2/Fig. 6).

@@ -65,10 +65,10 @@ Value TraceRecorder::peekStack(uint32_t DepthFromTop) {
   return Interp.stackData()[Interp.stackTop() - 1 - DepthFromTop];
 }
 
-void TraceRecorder::abort(const std::string &Why) {
+void TraceRecorder::abort(AbortReason Why) {
   if (St == Status::Recording) {
     St = Status::Aborted;
-    AbortReason = Why;
+    AbortCause = Why;
   }
 }
 
@@ -133,7 +133,7 @@ TraceRecorder::Tracked TraceRecorder::readSlot(uint32_t Slot) {
   if (It != Tracker.end())
     return It->second;
   if (Slot >= FallbackTypes.size()) {
-    abort("read of an untracked slot");
+    abort(AbortReason::UntrackedSlot);
     return {};
   }
   // Lazy import: "the trace imports local and global variables by unboxing
@@ -309,7 +309,7 @@ void TraceRecorder::recordArith(Op O, uint32_t Pc) {
   if (O == Op::Neg) {
     Tracked A = top();
     if (!isNumericType(A.Ty)) {
-      abort("negation of a non-number");
+      abort(AbortReason::NonNumericArith);
       return;
     }
     Value AV = peekStack(0);
@@ -334,7 +334,7 @@ void TraceRecorder::recordArith(Op O, uint32_t Pc) {
 
   if (O == Op::Add && (A.Ty == TraceType::String || B.Ty == TraceType::String)) {
     if (A.Ty != TraceType::String || B.Ty != TraceType::String) {
-      abort("mixed string/number concatenation");
+      abort(AbortReason::MixedConcat);
       return;
     }
     LIns *Args[3] = {immQ((int64_t)(intptr_t)&Ctx), A.Ins, B.Ins};
@@ -345,7 +345,7 @@ void TraceRecorder::recordArith(Op O, uint32_t Pc) {
   }
 
   if (!isNumericType(A.Ty) || !isNumericType(B.Ty)) {
-    abort("arithmetic on non-numbers");
+    abort(AbortReason::NonNumericArith);
     return;
   }
 
@@ -410,7 +410,7 @@ void TraceRecorder::recordArith(Op O, uint32_t Pc) {
     return;
   }
   default:
-    abort("unexpected arithmetic opcode");
+    abort(AbortReason::UnsupportedBytecode);
   }
 }
 
@@ -509,7 +509,7 @@ void TraceRecorder::recordCompare(Op O, uint32_t Pc) {
       return;
     }
   }
-  abort("untraceable comparison operand types");
+  abort(AbortReason::UntraceableCompare);
   (void)Pc;
 }
 
@@ -517,7 +517,7 @@ void TraceRecorder::recordBitop(Op O, uint32_t Pc) {
   if (O == Op::BitNot) {
     Tracked A = top();
     if (!isNumericType(A.Ty)) {
-      abort("bitop on a non-number");
+      abort(AbortReason::NonNumericBitop);
       return;
     }
     LIns *R = W->ins2(LOp::XorI, asInt32(A), immI(-1));
@@ -529,7 +529,7 @@ void TraceRecorder::recordBitop(Op O, uint32_t Pc) {
   Tracked B = top(0);
   Tracked A = top(1);
   if (!isNumericType(A.Ty) || !isNumericType(B.Ty)) {
-    abort("bitop on non-numbers");
+    abort(AbortReason::NonNumericBitop);
     return;
   }
   LIns *X = asInt32(A);
@@ -571,7 +571,7 @@ void TraceRecorder::recordBitop(Op O, uint32_t Pc) {
     return;
   }
   default:
-    abort("unexpected bit opcode");
+    abort(AbortReason::UnsupportedBytecode);
   }
 }
 
@@ -608,11 +608,11 @@ void TraceRecorder::recordGetProp(uint32_t Pc) {
       push(Len, TraceType::Int);
       return;
     }
-    abort("unknown string property");
+    abort(AbortReason::UnknownStringProp);
     return;
   }
   if (Recv.Ty != TraceType::Object) {
-    abort("property read on a non-object");
+    abort(AbortReason::PropOnPrimitive);
     return;
   }
   Object *RO = RecvV.toObject();
@@ -648,7 +648,7 @@ void TraceRecorder::recordSetProp(uint32_t Pc) {
   Tracked Recv = top(1);
   Value RecvV = peekStack(1);
   if (Recv.Ty != TraceType::Object) {
-    abort("property store on a non-object");
+    abort(AbortReason::PropOnPrimitive);
     return;
   }
   Object *RO = RecvV.toObject();
@@ -656,7 +656,7 @@ void TraceRecorder::recordSetProp(uint32_t Pc) {
   if (Slot < 0) {
     // Adding a property transitions the shape every iteration; the shape
     // guard would never hold. Abort and let blacklisting sort it out.
-    abort("property store adds a new property");
+    abort(AbortReason::PropAddsSlot);
     return;
   }
   guardShape(Recv.Ins, RO->shape(), Pc);
@@ -684,7 +684,7 @@ void TraceRecorder::recordGetElem(uint32_t Pc) {
     W->insGuard(LOp::GuardT,
                 W->ins2(LOp::EqD, W->ins1(LOp::I2D, IdxI), Idx.Ins), E);
   } else {
-    abort("non-numeric element index");
+    abort(AbortReason::NonNumericIndex);
     return;
   }
 
@@ -710,7 +710,7 @@ void TraceRecorder::recordGetElem(uint32_t Pc) {
   }
 
   if (Recv.Ty != TraceType::Object || !RecvV.toObject()->isArray()) {
-    abort("element read on a non-array");
+    abort(AbortReason::ElemOnNonArray);
     return;
   }
   Object *RO = RecvV.toObject();
@@ -747,7 +747,7 @@ void TraceRecorder::recordSetElem(uint32_t Pc) {
   Value RecvV = peekStack(2);
 
   if (Recv.Ty != TraceType::Object || !RecvV.toObject()->isArray()) {
-    abort("element store on a non-array");
+    abort(AbortReason::ElemOnNonArray);
     return;
   }
   Object *RO = RecvV.toObject();
@@ -761,7 +761,7 @@ void TraceRecorder::recordSetElem(uint32_t Pc) {
     W->insGuard(LOp::GuardT,
                 W->ins2(LOp::EqD, W->ins1(LOp::I2D, IdxI), Idx.Ins), E);
   } else {
-    abort("non-numeric element index");
+    abort(AbortReason::NonNumericIndex);
     return;
   }
 
@@ -844,12 +844,12 @@ void TraceRecorder::recordScriptedCall(Object *Callee, uint32_t ArgC,
   // Recursion is not traced (matches TraceMonkey's published behavior).
   for (const RecFrame &Fr : VFrames) {
     if (Fr.Script == S) {
-      abort("recursive call");
+      abort(AbortReason::RecursiveCall);
       return;
     }
   }
   if (VFrames.size() - EntryFrameDepth >= Ctx.Opts.MaxInlineDepth) {
-    abort("inline depth limit");
+    abort(AbortReason::InlineDepthLimit);
     return;
   }
 
@@ -884,7 +884,7 @@ void TraceRecorder::recordCall(uint32_t Pc) {
 
   if (Callee.Ty != TraceType::Object || !CalleeV.isObject() ||
       !CalleeV.toObject()->isFunction()) {
-    abort("call of a non-function");
+    abort(AbortReason::CallOfNonFunction);
     return;
   }
   Object *FO = CalleeV.toObject();
@@ -901,9 +901,7 @@ void TraceRecorder::recordCall(uint32_t Pc) {
 
   if (FO->native()) {
     if (!recordTraceableNative(FO, ArgC, Pc))
-      abort(std::string("untraceable native: ") +
-            (FO->functionName() ? std::string(FO->functionName()->view())
-                                : "?"));
+      abort(AbortReason::UntraceableNative);
     return;
   }
   recordScriptedCall(FO, ArgC, Pc + 2, Pc);
@@ -928,13 +926,13 @@ void TraceRecorder::recordCallProp(uint32_t Pc) {
         W->insGuard(LOp::GuardT,
                     W->ins2(LOp::EqD, W->ins1(LOp::I2D, IdxI), Idx.Ins), E);
       } else {
-        abort("charCodeAt with a non-numeric index");
+        abort(AbortReason::UntraceableNative);
         return;
       }
       double D = Interpreter::toNumber(IdxV);
       String *S = RecvV.toString();
       if (!(D >= 0 && D < S->length())) {
-        abort("charCodeAt out of range");
+        abort(AbortReason::UntraceableNative);
         return;
       }
       LIns *Len = W->insLoad(LOp::LdI, Recv.Ins, String::lengthOffset());
@@ -955,7 +953,7 @@ void TraceRecorder::recordCallProp(uint32_t Pc) {
       push(R, TraceType::String);
       return;
     }
-    abort("untraceable string method");
+    abort(AbortReason::UntraceableNative);
     return;
   }
 
@@ -972,7 +970,7 @@ void TraceRecorder::recordCallProp(uint32_t Pc) {
       push(R, TraceType::Int);
       return;
     }
-    abort("untraceable array method");
+    abort(AbortReason::UntraceableNative);
     return;
   }
 
@@ -980,7 +978,7 @@ void TraceRecorder::recordCallProp(uint32_t Pc) {
     Object *RO = RecvV.toObject();
     Value Method = RO->getProperty(Name);
     if (!Method.isObject() || !Method.toObject()->isFunction()) {
-      abort("method call on a non-function property");
+      abort(AbortReason::CallOfNonFunction);
       return;
     }
     Object *FO = Method.toObject();
@@ -996,8 +994,7 @@ void TraceRecorder::recordCallProp(uint32_t Pc) {
 
     if (FO->native()) {
       if (!recordTraceableNative(FO, ArgC, Pc))
-        abort(std::string("untraceable native method: ") +
-              std::string(Name->view()));
+        abort(AbortReason::UntraceableNative);
       return;
     }
     // The interpreter overwrites the receiver slot with the callee.
@@ -1006,12 +1003,12 @@ void TraceRecorder::recordCallProp(uint32_t Pc) {
     return;
   }
 
-  abort("method call on an unsupported receiver");
+  abort(AbortReason::UnsupportedReceiver);
 }
 
 void TraceRecorder::recordReturn(Op O, uint32_t Pc) {
   if (VFrames.size() <= EntryFrameDepth) {
-    abort("return below the trace entry frame");
+    abort(AbortReason::ReturnBelowEntryFrame);
     return;
   }
   Tracked R{nullptr, TraceType::Undefined};
@@ -1032,6 +1029,15 @@ void TraceRecorder::recordTreeCall(Fragment *Inner, ExitDescriptor *Taken) {
   ExitDescriptor *Mismatch = snapshot(ExitKind::Nested, Inner->AnchorPc);
   W->insTreeCall(Inner, Taken, Mismatch);
   ++Ctx.Stats.TreeCalls;
+  if (Ctx.EventListener) {
+    JitEvent E;
+    E.Kind = JitEventKind::TreeCall;
+    E.FragmentId = Inner->Id;
+    E.ScriptId = Inner->AnchorScript ? Inner->AnchorScript->Id : ~0u;
+    E.Pc = Inner->AnchorPc;
+    E.Arg0 = F->Id;
+    Ctx.emitEvent(E);
+  }
 
   // The inner tree rewrote the TAR; drop all cached knowledge and adopt
   // the exit state it returned through.
@@ -1161,6 +1167,7 @@ bool TraceRecorder::closeLoop(const std::vector<Fragment *> &Peers) {
   }
 
   F->Body = std::move(Buffer->instructions());
+  F->LirRecorded = (uint32_t)F->Body.size();
   F->RequiredTarSlots = MaxSlot + 8;
   St = Status::Finished;
   return true;
@@ -1177,7 +1184,7 @@ void TraceRecorder::recordOp(uint32_t Pc) {
 
   if (++OpsRecorded > Ctx.Opts.MaxTraceLength ||
       Buffer->size() > Ctx.Opts.MaxTraceLength * 4) {
-    abort("trace too long");
+    abort(AbortReason::TraceTooLong);
     return;
   }
 
@@ -1193,6 +1200,7 @@ void TraceRecorder::recordOp(uint32_t Pc) {
     ExitDescriptor *E = snapshot(ExitKind::LoopExit, Pc);
     W->insExit(E);
     F->Body = std::move(Buffer->instructions());
+    F->LirRecorded = (uint32_t)F->Body.size();
     F->RequiredTarSlots = MaxSlot + 8;
     St = Status::Finished;
     return;
@@ -1231,6 +1239,11 @@ void TraceRecorder::recordOp(uint32_t Pc) {
     return;
   case Op::Pop:
     --VSp;
+    return;
+  case Op::PopResult:
+    // Emitted only for top-level statements, which sit outside any loop;
+    // a trace should never reach one. Bail rather than lose the result.
+    abort(AbortReason::UnsupportedBytecode);
     return;
   case Op::Dup: {
     Tracked T = top();
@@ -1277,7 +1290,7 @@ void TraceRecorder::recordOp(uint32_t Pc) {
     Tracked V = top(0);
     Tracked O2 = top(1);
     if (O2.Ty != TraceType::Object) {
-      abort("initprop on a non-object");
+      abort(AbortReason::InitPropOnNonObject);
       return;
     }
     String *Name = S->Atoms[S->u16At(Pc + 1)];
@@ -1373,7 +1386,7 @@ void TraceRecorder::recordOp(uint32_t Pc) {
   }
 
   case Op::NumOps:
-    abort("corrupt bytecode while recording");
+    abort(AbortReason::UnsupportedBytecode);
     return;
   }
 }

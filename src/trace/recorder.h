@@ -51,7 +51,8 @@ public:
 
   enum class Status : uint8_t { Recording, Finished, Aborted };
   Status status() const { return St; }
-  const std::string &abortReason() const { return AbortReason; }
+  /// Why the recording aborted (AbortReason::None while recording).
+  AbortReason abortReason() const { return AbortCause; }
   Fragment *fragment() { return F; }
   Mode mode() const { return RecMode; }
   LoopRecord *loop() { return Loop; }
@@ -90,7 +91,7 @@ public:
   /// Current virtual frame depth (for anchor identification).
   size_t frameDepth() const { return VFrames.size(); }
 
-  void abort(const std::string &Why);
+  void abort(AbortReason Why);
 
 private:
   // --- Slot tracking -----------------------------------------------------------
@@ -210,7 +211,7 @@ private:
   LIns *ParamTar = nullptr;
 
   Status St = Status::Recording;
-  std::string AbortReason;
+  AbortReason AbortCause = AbortReason::None;
   uint32_t MaxSlot = 0;
   uint32_t OpsRecorded = 0;
 };

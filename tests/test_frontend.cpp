@@ -160,6 +160,6 @@ TEST(Parser, OperatorPrecedence) {
                      "print(7 & 3 | 4 ^ 1);\n"
                      "print(1 < 2 == true);\n"
                      "print(-2 * -3);\n")
-                  .Ok);
+                  .ok());
   EXPECT_EQ(Out, "5\n8\n7\ntrue\n6\n");
 }

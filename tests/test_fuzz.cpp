@@ -131,8 +131,8 @@ std::string runOn(const std::string &Src, bool Jit, Backend B) {
   std::string Out;
   E.setPrintHook([&](const std::string &S) { Out += S; });
   auto R = E.eval(Src);
-  if (!R.Ok)
-    return "<error: " + R.Error + ">";
+  if (!R.ok())
+    return "<error: " + R.Err.describe() + ">";
   return Out;
 }
 

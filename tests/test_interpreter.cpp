@@ -16,7 +16,7 @@ std::string runInterp(const std::string &Src) {
   std::string Out;
   E.setPrintHook([&](const std::string &S) { Out += S; });
   auto R = E.eval(Src);
-  EXPECT_TRUE(R.Ok) << R.Error << "\nprogram:\n" << Src;
+  EXPECT_TRUE(R.ok()) << R.Err.describe() << "\nprogram:\n" << Src;
   return Out;
 }
 
@@ -220,26 +220,65 @@ TEST(Interp, Errors) {
   {
     Engine E(Opts);
     auto R = E.eval("var x = ;");
-    EXPECT_FALSE(R.Ok);
-    EXPECT_NE(R.Error.find("SyntaxError"), std::string::npos);
+    EXPECT_FALSE(R.ok());
+    EXPECT_EQ(R.Err.Kind, ErrorKind::Parse);
+    EXPECT_EQ(R.Err.Line, 1u);
+    EXPECT_EQ(R.Err.Col, 9u) << "column of the offending ';'";
+    EXPECT_NE(R.Err.describe().find("SyntaxError"), std::string::npos);
+  }
+  {
+    Engine E(Opts);
+    auto R = E.eval("var a = 1;\n  var b = @;");
+    EXPECT_FALSE(R.ok());
+    EXPECT_EQ(R.Err.Kind, ErrorKind::Lex) << "bad character is a lex error";
+    EXPECT_EQ(R.Err.Line, 2u);
+    EXPECT_EQ(R.Err.Col, 11u);
   }
   {
     Engine E(Opts);
     auto R = E.eval("var x = 1; x();");
-    EXPECT_FALSE(R.Ok);
-    EXPECT_NE(R.Error.find("RuntimeError"), std::string::npos);
+    EXPECT_FALSE(R.ok());
+    EXPECT_EQ(R.Err.Kind, ErrorKind::Runtime);
+    EXPECT_NE(R.Err.describe().find("RuntimeError"), std::string::npos);
   }
   {
     Engine E(Opts);
     auto R = E.eval("undefinedGlobal.x;");
-    EXPECT_FALSE(R.Ok);
+    EXPECT_FALSE(R.ok());
   }
   {
     // Engine survives an error and can evaluate again.
     Engine E(Opts);
-    EXPECT_FALSE(E.eval("var x = 1; x();").Ok);
-    EXPECT_TRUE(E.eval("var y = 2;").Ok);
+    EXPECT_FALSE(E.eval("var x = 1; x();").ok());
+    EXPECT_TRUE(E.eval("var y = 2;").ok());
     EXPECT_EQ(E.getGlobal("y").toInt(), 2);
+  }
+}
+
+TEST(Interp, LastExpressionValue) {
+  EngineOptions Opts;
+  Opts.EnableJit = false;
+  Engine E(Opts);
+  {
+    auto R = E.eval("1 + 2;");
+    ASSERT_TRUE(R.ok());
+    EXPECT_EQ(R.LastValue.toInt(), 3);
+  }
+  {
+    // The *last* top-level expression statement wins; statements inside
+    // loops or functions do not contribute.
+    auto R = E.eval("function f(n) { n * 10; return n; }\n"
+                    "var s = 0;\n"
+                    "for (var i = 0; i < 10; ++i) { s + 1; s = s + f(1); }\n"
+                    "s * 2;");
+    ASSERT_TRUE(R.ok());
+    EXPECT_EQ(R.LastValue.toInt(), 20);
+  }
+  {
+    // No top-level expression statement => undefined.
+    auto R = E.eval("var q = 5;");
+    ASSERT_TRUE(R.ok());
+    EXPECT_TRUE(R.LastValue.isUndefined());
   }
 }
 
@@ -247,11 +286,11 @@ TEST(Interp, GlobalAccessAcrossEvals) {
   EngineOptions Opts;
   Opts.EnableJit = false;
   Engine E(Opts);
-  EXPECT_TRUE(E.eval("var counter = 10;").Ok);
-  EXPECT_TRUE(E.eval("counter = counter + 5;").Ok);
+  EXPECT_TRUE(E.eval("var counter = 10;").ok());
+  EXPECT_TRUE(E.eval("counter = counter + 5;").ok());
   EXPECT_EQ(E.getGlobal("counter").toInt(), 15);
   E.setGlobalNumber("injected", 2.5);
-  EXPECT_TRUE(E.eval("var twice = injected * 2;").Ok);
+  EXPECT_TRUE(E.eval("var twice = injected * 2;").ok());
   EXPECT_EQ(E.getGlobal("twice").numberValue(), 5.0);
 }
 
@@ -268,7 +307,7 @@ TEST(Interp, HostNativeRegistration) {
   });
   std::string Out;
   E.setPrintHook([&](const std::string &S) { Out += S; });
-  EXPECT_TRUE(E.eval("print(hostAdd(1, 2, 3.5));").Ok);
+  EXPECT_TRUE(E.eval("print(hostAdd(1, 2, 3.5));").ok());
   EXPECT_EQ(Out, "6.5\n");
 }
 
@@ -282,7 +321,7 @@ TEST(Interp, GCDuringExecution) {
   auto R = E.eval("var s = 0.1;\n"
                   "for (var i = 0; i < 200000; ++i) s = s + 0.1;\n"
                   "print(s > 20000 && s < 20001);");
-  ASSERT_TRUE(R.Ok) << R.Error;
+  ASSERT_TRUE(R.ok()) << R.Err.describe();
   EXPECT_EQ(Out, "true\n");
 }
 
@@ -291,6 +330,6 @@ TEST(Interp, DeepRecursionOverflowsGracefully) {
   Opts.EnableJit = false;
   Engine E(Opts);
   auto R = E.eval("function f(n) { return f(n + 1); } f(0);");
-  EXPECT_FALSE(R.Ok);
-  EXPECT_NE(R.Error.find("RuntimeError"), std::string::npos);
+  EXPECT_FALSE(R.ok());
+  EXPECT_NE(R.Err.describe().find("RuntimeError"), std::string::npos);
 }

@@ -22,9 +22,9 @@ std::string runConfig(const std::string &Src, const EngineOptions &Opts,
   std::string Out;
   E.setPrintHook([&](const std::string &S) { Out += S; });
   auto R = E.eval(Src);
-  EXPECT_TRUE(R.Ok) << R.Error << "\nprogram:\n" << Src;
-  if (!R.Ok)
-    return "<error: " + R.Error + ">";
+  EXPECT_TRUE(R.ok()) << R.Err.describe() << "\nprogram:\n" << Src;
+  if (!R.ok())
+    return "<error: " + R.Err.describe() + ">";
   if (StatsOut)
     *StatsOut = E.stats();
   return Out;
@@ -280,7 +280,7 @@ TEST(Jit, PreemptionDuringNativeLoop) {
                   "  total += s.length;\n"
                   "}\n"
                   "print(total);");
-  ASSERT_TRUE(R.Ok) << R.Error;
+  ASSERT_TRUE(R.ok()) << R.Err.describe();
   EXPECT_EQ(Out, "960000\n");
   EXPECT_GE(E.stats().GCs, 1u) << "expected GC pressure during the loop";
   EXPECT_GE(E.stats().TraceEnters, 1u);
@@ -293,7 +293,7 @@ TEST(Jit, HostRequestedPreemption) {
   Engine E(O);
   E.requestPreempt();
   auto R = E.eval("var s = 0; for (var i = 0; i < 10000; ++i) s += i;");
-  ASSERT_TRUE(R.Ok) << R.Error;
+  ASSERT_TRUE(R.ok()) << R.Err.describe();
   EXPECT_EQ(E.getGlobal("s").numberValue(), 49995000.0);
 }
 

@@ -158,8 +158,8 @@ TEST(Stats, ReportContainsFigureCounters) {
   O.CollectStats = true;
   Engine E(O);
   E.setPrintHook([](const std::string &) {});
-  ASSERT_TRUE(E.eval("var s = 0; for (var i = 0; i < 500; ++i) s += i;").Ok);
-  const VMStats &S = E.stats();
+  ASSERT_TRUE(E.eval("var s = 0; for (var i = 0; i < 500; ++i) s += i;").ok());
+  VMStats S = E.stats();
   EXPECT_GT(S.BytecodesNative, 0u);
   EXPECT_GT(S.TraceEnters, 0u);
   EXPECT_GT(S.LirEmitted, 0u);

@@ -22,8 +22,8 @@ RunInfo runWith(const std::string &Src, EngineOptions O) {
   RunInfo R;
   E.setPrintHook([&](const std::string &S) { R.Out += S; });
   auto Res = E.eval(Src);
-  R.Ok = Res.Ok;
-  R.Error = Res.Error;
+  R.Ok = Res.ok();
+  R.Error = Res.Err.describe();
   R.Stats = E.stats();
   return R;
 }
@@ -262,7 +262,7 @@ TEST(Preemption, FlagServicedOnTrace) {
   E.requestPreempt();
   auto R = E.eval("var s = 0; for (var i = 0; i < 50000; ++i) s += 2;"
                   "print(s);");
-  ASSERT_TRUE(R.Ok) << R.Error;
+  ASSERT_TRUE(R.ok()) << R.Err.describe();
   EXPECT_EQ(Out, "100000\n");
 }
 
@@ -288,8 +288,8 @@ TEST(TraceAnatomy, SieveMatchesPaperNarrative) {
                   "  if (!primes[i]) continue;\n"
                   "  for (var k = i + i; k < N; k += i) primes[k] = false;\n"
                   "}\n");
-  ASSERT_TRUE(R.Ok) << R.Error;
-  const VMStats &S = E.stats();
+  ASSERT_TRUE(R.ok()) << R.Err.describe();
+  VMStats S = E.stats();
   EXPECT_GE(S.TreesCompiled, 2u) << "inner (T45) and outer (T16) trees";
   EXPECT_GE(S.TreeCalls, 1u) << "outer tree nests the inner tree";
   EXPECT_GE(S.BranchesCompiled, 1u) << "the continue path (T23,1)";
@@ -321,10 +321,10 @@ TEST(TraceCache, EmbeddedRootsSurviveGC) {
   E.setPrintHook([&](const std::string &S) { Out += S; });
   ASSERT_TRUE(E.eval("var s = '';\n"
                      "for (var i = 0; i < 100; ++i) s = s + 'ab';\n")
-                  .Ok);
+                  .ok());
   E.context().TheHeap.collect(); // everything unrooted dies
   auto R = E.eval("for (var i = 0; i < 100; ++i) s = s + 'ab';\n"
                   "print(s.length);");
-  ASSERT_TRUE(R.Ok) << R.Error;
+  ASSERT_TRUE(R.ok()) << R.Err.describe();
   EXPECT_EQ(Out, "400\n");
 }
