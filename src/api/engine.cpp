@@ -11,10 +11,9 @@ namespace tracejit {
 Engine::Engine(const EngineOptions &Opts) : Ctx(Opts) {
   Interp = std::make_unique<Interpreter>(Ctx);
   installStandardGlobals(*Interp);
-  if (Opts.EnableJit) {
-    Monitor = createTraceMonitor(Ctx, *Interp);
-    Ctx.Monitor = Monitor.get();
-  }
+  // Built-in listeners go live before the monitor exists so construction-
+  // time events (e.g. BackendFallback when executable memory is denied)
+  // reach them.
   if (Opts.LogJitEvents) {
     LogListener = std::make_unique<LogJitEventListener>();
     Mux.add(LogListener.get());
@@ -24,6 +23,10 @@ Engine::Engine(const EngineOptions &Opts) : Ctx(Opts) {
     Mux.add(TraceCapture.get());
   }
   refreshListenerGate();
+  if (Opts.EnableJit) {
+    Monitor = createTraceMonitor(Ctx, *Interp);
+    Ctx.Monitor = Monitor.get();
+  }
 }
 
 Engine::~Engine() {
@@ -40,6 +43,8 @@ EvalResult Engine::eval(std::string_view Source) {
   Ctx.HasError = false;
   Ctx.ErrorMessage.clear();
   Ctx.LastResult = Value::undefined();
+  if (Monitor)
+    Monitor->onEvalStart(); // fresh per-eval cache-flush budget
 
   EngineError ParseErr;
   FunctionScript *Top = compileSource(Ctx, Source, &ParseErr);
@@ -117,6 +122,27 @@ bool Engine::exportTraceEvents(const std::string &Path) const {
   if (!TraceCapture)
     return false;
   return TraceCapture->writeJson(Path);
+}
+
+void Engine::flushCodeCache() {
+  if (Monitor)
+    Monitor->requestCacheFlush();
+}
+
+uint32_t Engine::cacheGeneration() const {
+  return Monitor ? Monitor->cacheGeneration() : 0;
+}
+
+bool Engine::jitDisabled() const {
+  return Monitor ? Monitor->jitDisabled() : false;
+}
+
+size_t Engine::codeCacheUsed() const {
+  return Monitor ? Monitor->codeCacheUsed() : 0;
+}
+
+size_t Engine::codeCacheCapacity() const {
+  return Monitor ? Monitor->codeCacheCapacity() : 0;
 }
 
 } // namespace tracejit

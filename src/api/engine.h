@@ -89,6 +89,29 @@ public:
   /// (§6.4); the next loop edge -- interpreted or native -- services it.
   void requestPreempt() { Ctx.PreemptFlag = 1; }
 
+  // --- Code-cache lifecycle ---------------------------------------------------
+
+  /// Request a whole-code-cache flush: retire every compiled trace, reset
+  /// the executable pool, bump the cache generation, and re-enter
+  /// monitoring cold. Deferred (not dropped) while a trace is on the
+  /// native stack or a recording is active; it then runs at the next safe
+  /// loop edge. No-op when the JIT is off or kill-switched.
+  void flushCodeCache();
+
+  /// Monotonic code-cache generation; bumped by every completed flush.
+  uint32_t cacheGeneration() const;
+
+  /// True once the kill switch (EngineOptions::MaxCacheFlushes exceeded in
+  /// one eval) permanently disabled the JIT; the engine keeps evaluating
+  /// correctly on the interpreter.
+  bool jitDisabled() const;
+
+  /// Executable-pool occupancy in bytes (0 with the executor backend or
+  /// the JIT off); capacity reflects EngineOptions::CodeCacheBytes rounded
+  /// to a page.
+  size_t codeCacheUsed() const;
+  size_t codeCacheCapacity() const;
+
   /// Internal access for tests and benchmarks.
   VMContext &context() { return Ctx; }
   Interpreter &interpreter() { return *Interp; }

@@ -9,7 +9,9 @@
 #ifndef TRACEJIT_API_OPTIONS_H
 #define TRACEJIT_API_OPTIONS_H
 
+#include <cstddef>
 #include <cstdint>
+#include <functional>
 
 namespace tracejit {
 
@@ -18,6 +20,22 @@ enum class Backend : uint8_t {
   Native,   ///< x86-64 machine code (the nanojit analog).
   Executor, ///< Portable LIR interpreter; reference semantics.
 };
+
+/// Failure sites the deterministic fault injector can trigger. Each site
+/// corresponds to one real-world failure mode of the code-cache lifecycle.
+enum class FaultSite : uint8_t {
+  ExecMapFail,   ///< mmap of the executable pool fails (hardened kernels).
+  ExecAllocFail, ///< A code-cache reservation cannot be satisfied.
+  ProtectFail,   ///< mprotect W^X flip fails.
+  CompileFail,   ///< The backend fails to compile a fragment.
+};
+
+const char *faultSiteName(FaultSite S);
+
+/// Deterministic fault-injection hook: return true to force the named
+/// failure path. Stateful callbacks (fail the Nth allocation, fail once)
+/// are the caller's business; the engine only asks. Empty = no injection.
+using FaultHook = std::function<bool(FaultSite)>;
 
 /// LIR filter pipeline stages (§5.1); bitmask for ablation.
 enum FilterMask : uint32_t {
@@ -90,6 +108,25 @@ struct EngineOptions {
   /// Observability: buffer the JIT event stream so
   /// Engine::exportTraceEvents() can write Chrome trace-event JSON.
   bool CaptureTraceEvents = false;
+
+  // --- Code-cache lifecycle governance --------------------------------------
+
+  /// Size of the executable code cache (native backend). One contiguous
+  /// mapping keeps every fragment within rel32 range for stitching (§6.2);
+  /// when a reservation cannot be satisfied the monitor flushes the whole
+  /// cache and re-enters monitoring cold.
+  size_t CodeCacheBytes = 32 * 1024 * 1024;
+
+  /// Whole-cache flushes tolerated within one eval before the kill switch
+  /// permanently disables the JIT for this engine, falling back to the pure
+  /// interpreter (the Figure 10 baseline). Guards against flush thrash when
+  /// the working set of hot traces can never fit in CodeCacheBytes.
+  uint32_t MaxCacheFlushes = 8;
+
+  /// Deterministic fault injection for the code-cache lifecycle; see
+  /// FaultSite. Tests use this to force every failure path (map, alloc,
+  /// protect, compile) without real memory pressure.
+  FaultHook FaultInjector;
 };
 
 } // namespace tracejit

@@ -11,6 +11,7 @@
 #ifndef TRACEJIT_INTERP_TRACEHOOKS_H
 #define TRACEJIT_INTERP_TRACEHOOKS_H
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -48,10 +49,33 @@ public:
 
   /// Snapshot per-fragment telemetry (enter counts, iterations, per-guard
   /// side-exit histograms, LIR/native sizes) into \p Out. Appends one
-  /// FragmentProfile per fragment ever created, including aborted ones.
+  /// FragmentProfile per fragment in the current cache generation,
+  /// including aborted ones.
   virtual void collectFragmentProfiles(std::vector<FragmentProfile> &Out) const {
     (void)Out;
   }
+
+  // --- Code-cache lifecycle --------------------------------------------------
+
+  /// Called by the engine at the top of every eval; resets the per-eval
+  /// flush budget that feeds the jit-disable kill switch.
+  virtual void onEvalStart() {}
+
+  /// Request a whole-cache flush: retire every fragment, reset the code
+  /// pool, bump the generation, and re-enter monitoring cold. Deferred
+  /// (not dropped) while a trace is on the native stack or a recording is
+  /// active; the flush then runs at the next safe loop edge.
+  virtual void requestCacheFlush() {}
+
+  /// Monotonic generation counter; bumped by every completed flush.
+  virtual uint32_t cacheGeneration() const { return 0; }
+
+  /// True once the kill switch disabled the JIT for this engine.
+  virtual bool jitDisabled() const { return false; }
+
+  /// Executable-pool occupancy (0 for the executor backend).
+  virtual size_t codeCacheUsed() const { return 0; }
+  virtual size_t codeCacheCapacity() const { return 0; }
 };
 
 } // namespace tracejit

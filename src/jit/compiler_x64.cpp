@@ -15,15 +15,17 @@ namespace tracejit {
 
 // --- Runtime stubs -------------------------------------------------------------
 
-NativeBackend::NativeBackend() {
+NativeBackend::NativeBackend(size_t CacheBytes, const FaultHook *FI)
+    : Pool(CacheBytes, FI), Faults(FI) {
   if (!Pool.valid())
     return;
   emitRuntimeStubs();
+  Pool.setFloor(); // whole-cache flushes keep the stubs
   Ready = Trampoline != nullptr;
 }
 
 void NativeBackend::emitRuntimeStubs() {
-  uint8_t *Mem = Pool.allocate(128);
+  uint8_t *Mem = Pool.reserve(128);
   if (!Mem)
     return;
   Assembler A(Mem, 128);
@@ -51,15 +53,20 @@ void NativeBackend::emitRuntimeStubs() {
   A.pop(RBP);
   A.ret();
 
-  if (A.overflowed())
+  if (A.overflowed()) {
+    Pool.rewind();
     return;
+  }
+  Pool.commit(A.size());
   Trampoline = (EnterFn)Entry;
 }
 
 void NativeBackend::patchExitTo(ExitDescriptor *E, Fragment *Target) {
   E->Target = Target;
-  if (E->PatchAddr && Target->NativeEntry) {
-    // Overwrite the stub's `mov rax, imm64` with `jmp rel32`.
+  if (E->PatchAddr && Target->NativeEntry && Pool.makeWritable()) {
+    // Overwrite the stub's `mov rax, imm64` with `jmp rel32`. If the W^X
+    // flip fails, Target alone still routes the transfer: the stub keeps
+    // returning to the monitor, which sees E->Target and resumes there.
     uint8_t *P = E->PatchAddr;
     P[0] = 0xE9;
     Assembler::patchRel32(P + 1, Target->NativeEntry);
@@ -1003,20 +1010,29 @@ bool FragmentCompiler::run() {
 
 } // namespace
 
-bool NativeBackend::compile(Fragment *F, VMContext *Ctx) {
+CompileResult NativeBackend::compile(Fragment *F, VMContext *Ctx) {
   if (!Ready)
-    return false;
+    return CompileResult::BackendUnavailable;
+  if (inject(FaultSite::CompileFail))
+    return CompileResult::Fault;
+  if (!Pool.makeWritable())
+    return CompileResult::Fault; // W^X flip failed; cannot emit
   size_t Estimate = F->Body.size() * 48 + F->Exits.size() * 24 + 512;
-  uint8_t *Mem = Pool.allocate(Estimate);
+  uint8_t *Mem = Pool.reserve(Estimate);
   if (!Mem)
-    return false;
+    return CompileResult::PoolExhausted;
   Assembler A(Mem, Estimate);
   FragmentCompiler FC(*this, F, Ctx, A);
   if (!FC.run()) {
+    bool Overflow = A.overflowed();
     F->NativeEntry = nullptr;
-    return false;
+    F->NativeSize = 0;
+    Pool.rewind(); // a failed compile returns its bytes
+    return Overflow ? CompileResult::AssemblerOverflow
+                    : CompileResult::Unsupported;
   }
-  return true;
+  Pool.commit(F->NativeSize); // keep only what was emitted, not Estimate
+  return CompileResult::Ok;
 }
 
 } // namespace tracejit

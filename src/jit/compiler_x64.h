@@ -33,29 +33,59 @@ namespace tracejit {
 
 struct VMContext;
 
+/// Outcome of NativeBackend::compile. Everything except Ok leaves the
+/// fragment uncompiled and the code cache exactly as it was (the
+/// reservation is rewound); the monitor maps each failure to an
+/// AbortReason and decides whether to flush the cache.
+enum class CompileResult : uint8_t {
+  Ok,
+  BackendUnavailable, ///< No executable memory (valid() is false).
+  PoolExhausted,      ///< The code cache could not satisfy the reservation.
+  AssemblerOverflow,  ///< Emitted code overflowed the size estimate.
+  Unsupported,        ///< LIR the backend cannot compile (opcode/spills).
+  Fault,              ///< Injected CompileFail or a W^X protect failure.
+};
+
 class NativeBackend {
 public:
-  NativeBackend();
+  /// \p CacheBytes bounds all generated code; \p Faults (borrowed,
+  /// nullable) is the engine's deterministic fault injector.
+  explicit NativeBackend(size_t CacheBytes = 32 * 1024 * 1024,
+                         const FaultHook *Faults = nullptr);
 
-  /// False when executable memory is unavailable (hardened kernels); the
-  /// engine then falls back to the LIR-executor backend.
+  /// False when executable memory is unavailable (hardened kernels or an
+  /// injected ExecMapFail); the engine then falls back to the
+  /// LIR-executor backend.
   bool valid() const { return Ready; }
 
   /// Compile \p F->Body into native code; fills F->NativeEntry and each
-  /// exit's PatchAddr. Returns false (leaving the fragment uncompiled) on
-  /// overflow or unsupported input.
-  bool compile(Fragment *F, VMContext *Ctx);
+  /// exit's PatchAddr. On anything but Ok the fragment is left uncompiled
+  /// and the pool reservation is returned.
+  CompileResult compile(Fragment *F, VMContext *Ctx);
 
-  /// Run a compiled fragment on \p Tar; returns the taken exit.
+  /// Flip the code cache to RX so traces can run. Must be checked before
+  /// every enter(); returns false when the W^X flip fails (the caller
+  /// falls back to the LIR executor for this run).
+  bool ensureExecutable() { return Pool.makeExecutable(); }
+
+  /// Run a compiled fragment on \p Tar; returns the taken exit. The pool
+  /// must be executable (ensureExecutable()).
   ExitDescriptor *enter(void *Tar, Fragment *F) {
     return Trampoline(Tar, F->NativeEntry);
   }
+
+  /// Whole-cache flush: discard every fragment's code, keeping only the
+  /// permanent runtime stubs. Returns the bytes reclaimed. All
+  /// Fragment::NativeEntry pointers into the pool are invalid afterwards;
+  /// the monitor retires the fragments in the same motion.
+  size_t flushCode() { return Pool.reset(); }
 
   /// Stitch: retarget \p E's exit stub to jump directly into \p Target
   /// (which must be compiled). Also records E->Target.
   void patchExitTo(ExitDescriptor *E, Fragment *Target);
 
   ExecMemPool &pool() { return Pool; }
+  const ExecMemPool &pool() const { return Pool; }
 
   /// Address generated code uses to reenter the trampoline for nested tree
   /// calls.
@@ -69,7 +99,12 @@ private:
 
   void emitRuntimeStubs();
 
+  bool inject(FaultSite S) const {
+    return Faults && *Faults && (*Faults)(S);
+  }
+
   ExecMemPool Pool;
+  const FaultHook *Faults = nullptr;
   EnterFn Trampoline = nullptr;
   uint8_t *SharedEpilogue = nullptr;
   bool Ready = false;

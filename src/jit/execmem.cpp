@@ -2,12 +2,19 @@
 
 #include "jit/execmem.h"
 
+#include <cassert>
 #include <sys/mman.h>
+#include <unistd.h>
 
 namespace tracejit {
 
-ExecMemPool::ExecMemPool(size_t Bytes) {
-  void *P = mmap(nullptr, Bytes, PROT_READ | PROT_WRITE | PROT_EXEC,
+ExecMemPool::ExecMemPool(size_t Bytes, const FaultHook *FI) : Faults(FI) {
+  size_t Page = (size_t)sysconf(_SC_PAGESIZE);
+  Bytes = (Bytes + Page - 1) & ~(Page - 1);
+  if (inject(FaultSite::ExecMapFail))
+    return; // simulated mmap failure: pool stays invalid
+  // W^X: map RW; makeExecutable() flips to RX before traces run.
+  void *P = mmap(nullptr, Bytes, PROT_READ | PROT_WRITE,
                  MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
   if (P == MAP_FAILED)
     return;
@@ -20,12 +27,64 @@ ExecMemPool::~ExecMemPool() {
     munmap(Base, Cap);
 }
 
-uint8_t *ExecMemPool::allocate(size_t Bytes) {
+uint8_t *ExecMemPool::reserve(size_t Bytes) {
+  assert(!HasReservation && "unresolved reservation");
+  if (!Base || inject(FaultSite::ExecAllocFail))
+    return nullptr;
   size_t Aligned = (Used + 15) & ~(size_t)15;
   if (Aligned + Bytes > Cap)
     return nullptr;
+  ResvStart = Aligned;
+  HasReservation = true;
   Used = Aligned + Bytes;
   return Base + Aligned;
+}
+
+void ExecMemPool::commit(size_t Actual) {
+  assert(HasReservation && "commit without reserve");
+  assert(ResvStart + Actual <= Used && "commit exceeds reservation");
+  Used = ResvStart + Actual;
+  HasReservation = false;
+}
+
+void ExecMemPool::rewind() {
+  assert(HasReservation && "rewind without reserve");
+  Used = ResvStart;
+  HasReservation = false;
+}
+
+size_t ExecMemPool::reset() {
+  assert(!HasReservation && "flush with a compile in flight");
+  size_t Reclaimed = Used - Floor;
+  Used = Floor;
+  makeWritable(); // next generation starts emitting immediately
+  return Reclaimed;
+}
+
+bool ExecMemPool::makeExecutable() {
+  if (!Base)
+    return false;
+  if (Exec)
+    return true;
+  if (inject(FaultSite::ProtectFail))
+    return false;
+  if (mprotect(Base, Cap, PROT_READ | PROT_EXEC) != 0)
+    return false;
+  Exec = true;
+  return true;
+}
+
+bool ExecMemPool::makeWritable() {
+  if (!Base)
+    return false;
+  if (!Exec)
+    return true;
+  if (inject(FaultSite::ProtectFail))
+    return false;
+  if (mprotect(Base, Cap, PROT_READ | PROT_WRITE) != 0)
+    return false;
+  Exec = false;
+  return true;
 }
 
 } // namespace tracejit

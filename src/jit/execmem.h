@@ -5,6 +5,23 @@
 // other, so trace stitching can patch a side-exit stub into a direct
 // 5-byte jump to the branch fragment (§6.2).
 //
+// The pool is a bounded, rewindable bump allocator with W^X hygiene:
+//
+//  * reserve()/commit()/rewind(): a compile reserves its worst-case
+//    estimate, then either commits the bytes actually emitted or rewinds
+//    the whole reservation, so failed or over-estimated compiles never
+//    leak executable memory.
+//  * setFloor()/reset(): the backend marks the end of its permanent
+//    runtime stubs as the floor; a whole-cache flush resets the bump
+//    pointer to the floor, reclaiming every fragment at once.
+//  * makeWritable()/makeExecutable(): the mapping is RW while code is
+//    emitted or patched and RX while traces run; never both (W^X). The
+//    flip is lazy and idempotent -- one mprotect per phase change, a
+//    single branch when the pool is already in the right state.
+//
+// Every OS-facing failure path (map, reservation, protect) can be forced
+// through the EngineOptions::FaultInjector hook for deterministic tests.
+//
 //===----------------------------------------------------------------------===//
 
 #ifndef TRACEJIT_JIT_EXECMEM_H
@@ -13,28 +30,80 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "api/options.h"
+
 namespace tracejit {
 
 class ExecMemPool {
 public:
-  /// Reserve \p Bytes of RWX memory. Check valid() before use.
-  explicit ExecMemPool(size_t Bytes = 32 * 1024 * 1024);
+  /// Map \p Bytes (rounded up to a page) of RW memory. Check valid()
+  /// before use. \p Faults, when non-null, points at the engine's fault
+  /// injector (borrowed; must outlive the pool).
+  explicit ExecMemPool(size_t Bytes = 32 * 1024 * 1024,
+                       const FaultHook *Faults = nullptr);
   ~ExecMemPool();
   ExecMemPool(const ExecMemPool &) = delete;
   ExecMemPool &operator=(const ExecMemPool &) = delete;
 
   bool valid() const { return Base != nullptr; }
 
-  /// Bump-allocate \p Bytes (16-byte aligned); nullptr when exhausted.
-  uint8_t *allocate(size_t Bytes);
+  /// Reserve \p Bytes (16-byte aligned); nullptr when exhausted or when a
+  /// fault is injected at ExecAllocFail. At most one reservation is
+  /// outstanding at a time; it must be resolved by commit() or rewind().
+  uint8_t *reserve(size_t Bytes);
+
+  /// Keep only \p Actual bytes of the outstanding reservation (the bytes
+  /// the assembler really emitted); the rest returns to the pool.
+  void commit(size_t Actual);
+
+  /// Return the entire outstanding reservation to the pool (failed
+  /// compile).
+  void rewind();
+
+  /// Convenience for tests and one-shot stubs: reserve + commit(Bytes).
+  uint8_t *allocate(size_t Bytes) {
+    uint8_t *P = reserve(Bytes);
+    if (P)
+      commit(Bytes);
+    return P;
+  }
+
+  /// Mark everything allocated so far (the backend's permanent runtime
+  /// stubs) as the floor reset() rewinds to.
+  void setFloor() { Floor = Used; }
+
+  /// Whole-cache flush: rewind the bump pointer to the floor and make the
+  /// pool writable again. Returns the number of bytes reclaimed.
+  size_t reset();
+
+  /// Flip the mapping to RX (before running traces). Idempotent; returns
+  /// false when mprotect fails or a ProtectFail fault is injected, in
+  /// which case the mapping stays RW and nothing in it may be executed.
+  bool makeExecutable();
+
+  /// Flip the mapping to RW (before emitting or patching code).
+  /// Idempotent; returns false on mprotect failure / injected fault.
+  bool makeWritable();
+
+  bool executable() const { return Exec; }
 
   size_t used() const { return Used; }
   size_t capacity() const { return Cap; }
+  size_t floorBytes() const { return Floor; }
 
 private:
+  bool inject(FaultSite S) const {
+    return Faults && *Faults && (*Faults)(S);
+  }
+
   uint8_t *Base = nullptr;
   size_t Cap = 0;
   size_t Used = 0;
+  size_t Floor = 0;
+  size_t ResvStart = 0;
+  bool HasReservation = false;
+  bool Exec = false; ///< Current protection: true = RX, false = RW.
+  const FaultHook *Faults = nullptr;
 };
 
 } // namespace tracejit

@@ -74,6 +74,10 @@ enum class FragmentKind : uint8_t {
 class Fragment {
 public:
   uint32_t Id = 0;
+  /// Code-cache generation this fragment was recorded in. A whole-cache
+  /// flush retires every fragment and bumps the monitor's generation;
+  /// fragments never outlive their generation.
+  uint32_t Generation = 0;
   FragmentKind Kind = FragmentKind::Root;
   FunctionScript *AnchorScript = nullptr;
   uint32_t AnchorPc = 0; ///< Loop header pc (roots) / exit pc (branches).

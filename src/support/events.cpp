@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <cinttypes>
 
+#include "api/options.h"
 #include "jit/fragment.h"
 
 namespace tracejit {
@@ -63,8 +64,30 @@ const char *abortReasonName(AbortReason R) {
     return "dispatch-unwound";
   case AbortReason::TypecheckFailed:
     return "typecheck-failed";
+  case AbortReason::CompilePoolExhausted:
+    return "compile-pool-exhausted";
+  case AbortReason::CompileOverflow:
+    return "compile-overflow";
+  case AbortReason::CompileUnsupported:
+    return "compile-unsupported";
+  case AbortReason::CompileFault:
+    return "compile-fault";
   case AbortReason::NumReasons:
     break;
+  }
+  return "?";
+}
+
+const char *faultSiteName(FaultSite S) {
+  switch (S) {
+  case FaultSite::ExecMapFail:
+    return "exec-map-fail";
+  case FaultSite::ExecAllocFail:
+    return "exec-alloc-fail";
+  case FaultSite::ProtectFail:
+    return "protect-fail";
+  case FaultSite::CompileFail:
+    return "compile-fail";
   }
   return "?";
 }
@@ -91,6 +114,14 @@ const char *jitEventKindName(JitEventKind K) {
     return "StitchedTransfer";
   case JitEventKind::GC:
     return "GC";
+  case JitEventKind::CacheFlush:
+    return "CacheFlush";
+  case JitEventKind::FragmentRetired:
+    return "FragmentRetired";
+  case JitEventKind::JitDisabled:
+    return "JitDisabled";
+  case JitEventKind::BackendFallback:
+    return "BackendFallback";
   case JitEventKind::NumKinds:
     break;
   }
@@ -164,6 +195,23 @@ std::string LogJitEventListener::format(const JitEvent &E) {
   case JitEventKind::GC:
     snprintf(Buf, sizeof(Buf), " collections=%" PRIu64, E.Arg0);
     Out += Buf;
+    break;
+  case JitEventKind::CacheFlush:
+    snprintf(Buf, sizeof(Buf), " generation=%" PRIu64 " reclaimed=%" PRIu64,
+             E.Arg0, E.Arg1);
+    Out += Buf;
+    break;
+  case JitEventKind::FragmentRetired:
+    snprintf(Buf, sizeof(Buf), " native-bytes=%" PRIu64 " generation=%" PRIu64,
+             E.Arg0, E.Arg1);
+    Out += Buf;
+    break;
+  case JitEventKind::JitDisabled:
+    snprintf(Buf, sizeof(Buf), " flushes=%" PRIu64, E.Arg0);
+    Out += Buf;
+    break;
+  case JitEventKind::BackendFallback:
+    Out += " backend=executor";
     break;
   default:
     break;
@@ -265,6 +313,17 @@ std::string ChromeTraceCollector::renderJson() const {
       break;
     case JitEventKind::GC:
       Args += numArg("collections", E.Arg0, Args.empty());
+      break;
+    case JitEventKind::CacheFlush:
+      Args += numArg("generation", E.Arg0, Args.empty());
+      Args += numArg("reclaimedBytes", E.Arg1);
+      break;
+    case JitEventKind::FragmentRetired:
+      Args += numArg("nativeBytes", E.Arg0, Args.empty());
+      Args += numArg("generation", E.Arg1);
+      break;
+    case JitEventKind::JitDisabled:
+      Args += numArg("flushes", E.Arg0, Args.empty());
       break;
     default:
       break;

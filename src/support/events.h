@@ -71,6 +71,12 @@ enum class AbortReason : uint8_t {
   DispatchUnwound,     ///< Interpreter dispatch returned while recording.
   TypecheckFailed,     ///< Post-filter LIR failed the typechecker.
 
+  // --- Backend compile failures (code-cache lifecycle governance) -----------
+  CompilePoolExhausted,///< The code cache could not satisfy the reservation.
+  CompileOverflow,     ///< Emitted code overflowed the assembler estimate.
+  CompileUnsupported,  ///< LIR the backend cannot compile (opcode/spills).
+  CompileFault,        ///< Injected CompileFail or a W^X protect failure.
+
   NumReasons
 };
 
@@ -88,6 +94,15 @@ enum class JitEventKind : uint8_t {
   TreeCall,         ///< An outer recording called into an inner tree (§4.1).
   StitchedTransfer, ///< A side exit was patched to jump to a trace (§6.2).
   GC,               ///< The heap was collected at a safe point.
+  CacheFlush,       ///< Whole code cache flushed; Arg0 = new generation,
+                    ///< Arg1 = native bytes reclaimed.
+  FragmentRetired,  ///< One fragment retired by a flush; Arg0 = its native
+                    ///< bytes, Arg1 = its generation.
+  JitDisabled,      ///< Kill switch: too many flushes in one eval; the
+                    ///< engine is interpreter-only from here. Arg0 = flush
+                    ///< count that tripped it.
+  BackendFallback,  ///< Native backend unavailable at startup (mmap denied
+                    ///< or injected); the LIR executor serves instead.
   NumKinds
 };
 
@@ -191,6 +206,7 @@ struct GuardProfile {
 /// Telemetry for one compiled (or attempted) fragment.
 struct FragmentProfile {
   uint32_t Id = 0;
+  uint32_t Generation = 0;      ///< Code-cache generation it was born in.
   bool IsRoot = true;           ///< Root tree trunk vs. branch trace.
   uint32_t ScriptId = ~0u;      ///< Anchor script.
   uint32_t AnchorPc = 0;        ///< Loop header pc (root) / exit pc (branch).

@@ -51,6 +51,19 @@ std::string VMStats::report() const {
            (unsigned long long)TreeCalls, (unsigned long long)UnstableLinks,
            (unsigned long long)LoopsBlacklisted);
   Out += Buf;
+  if (CacheFlushes || FragmentsRetired || BackendFallbacks || ProtectFaults ||
+      JitDisables) {
+    snprintf(Buf, sizeof(Buf),
+             "code cache: flushes=%llu retired=%llu reclaimed-bytes=%llu "
+             "backend-fallbacks=%llu protect-faults=%llu jit-disabled=%llu\n",
+             (unsigned long long)CacheFlushes,
+             (unsigned long long)FragmentsRetired,
+             (unsigned long long)CacheBytesReclaimed,
+             (unsigned long long)BackendFallbacks,
+             (unsigned long long)ProtectFaults,
+             (unsigned long long)JitDisables);
+    Out += Buf;
+  }
   if (TracesAborted > 0) {
     Out += "aborts by reason:\n";
     for (size_t R = 0; R < (size_t)AbortReason::NumReasons; ++R) {

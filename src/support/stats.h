@@ -61,6 +61,14 @@ struct VMStats {
   uint64_t OracleDemotions = 0;
   uint64_t GCs = 0;
 
+  // --- Code-cache lifecycle counters ----------------------------------------
+  uint64_t CacheFlushes = 0;        ///< Whole-cache flushes.
+  uint64_t CacheBytesReclaimed = 0; ///< Native bytes returned by flushes.
+  uint64_t FragmentsRetired = 0;    ///< Fragments discarded by flushes.
+  uint64_t BackendFallbacks = 0;    ///< Native backend unavailable at start.
+  uint64_t ProtectFaults = 0;       ///< W^X flips that failed (enter/compile).
+  uint64_t JitDisables = 0;         ///< Kill switch trips (0 or 1).
+
   // --- LIR pipeline counters ----------------------------------------------
   uint64_t LirEmitted = 0;
   uint64_t LirAfterForwardFilters = 0;

@@ -16,9 +16,19 @@ namespace tracejit {
 TraceMonitorImpl::TraceMonitorImpl(VMContext &C, Interpreter &I)
     : Ctx(C), Interp(I) {
   if (Ctx.Opts.JitBackend == Backend::Native) {
-    Native = std::make_unique<NativeBackend>();
-    if (!Native->valid())
-      Native.reset(); // fall back to the LIR executor
+    Native = std::make_unique<NativeBackend>(Ctx.Opts.CodeCacheBytes,
+                                             &Ctx.Opts.FaultInjector);
+    if (!Native->valid()) {
+      // Executable memory is unavailable (hardened kernel or injected
+      // ExecMapFail): fall back to the LIR executor, loudly.
+      Native.reset();
+      ++Ctx.Stats.BackendFallbacks;
+      if (Ctx.EventListener) {
+        JitEvent E;
+        E.Kind = JitEventKind::BackendFallback;
+        emitEvent(E);
+      }
+    }
   }
   // Root everything compiled traces point at (§6: the trace cache keeps
   // its embedded objects alive).
@@ -41,6 +51,7 @@ void TraceMonitorImpl::collectFragmentProfiles(
   for (const auto &F : Fragments) {
     FragmentProfile P;
     P.Id = F->Id;
+    P.Generation = F->Generation;
     P.IsRoot = F->Kind == FragmentKind::Root;
     P.ScriptId = F->AnchorScript ? F->AnchorScript->Id : ~0u;
     P.AnchorPc = F->AnchorPc;
@@ -68,6 +79,7 @@ void TraceMonitorImpl::collectFragmentProfiles(
 Fragment *TraceMonitorImpl::newFragment(FragmentKind K) {
   auto F = std::make_unique<Fragment>();
   F->Id = NextFragmentId++;
+  F->Generation = CacheGeneration;
   F->Kind = K;
   Fragment *P = F.get();
   Fragments.push_back(std::move(F));
@@ -256,10 +268,18 @@ ExitDescriptor *TraceMonitorImpl::executeFragment(Fragment *Frag) {
     Ctx.Stats.switchTo(Activity::Native);
   Ctx.OnTrace = true;
   ExitDescriptor *E;
-  if (Frag->NativeEntry && Native)
-    E = Native->enter(TarBuffer.data(), Frag);
-  else
+  if (Frag->NativeEntry && Native) {
+    if (Native->ensureExecutable()) {
+      E = Native->enter(TarBuffer.data(), Frag);
+    } else {
+      // W^X flip to RX failed: the native code exists but cannot legally
+      // run. The LIR body is the reference semantics -- use it.
+      ++Ctx.Stats.ProtectFaults;
+      E = LirExecutor::run(Frag, TarBuffer.data(), &Ctx);
+    }
+  } else {
     E = LirExecutor::run(Frag, TarBuffer.data(), &Ctx);
+  }
   Ctx.OnTrace = false;
   if (Stats)
     Ctx.Stats.switchTo(Activity::ExitOverhead);
@@ -494,12 +514,24 @@ void TraceMonitorImpl::finishRecording(const std::vector<Fragment *> &Peers) {
   }
 
   if (Native) {
-    if (!Native->compile(F, &Ctx)) {
-      // Executor fallback: Body alone is executable.
-      F->NativeEntry = nullptr;
-    } else if (Ctx.Opts.DumpAssembly) {
-      fprintf(stderr, "--- fragment %u native: %u bytes at %p\n", F->Id,
-              F->NativeSize, (void *)F->NativeEntry);
+    CompileResult CR = Native->compile(F, &Ctx);
+    if (CR == CompileResult::Ok) {
+      if (Ctx.Opts.DumpAssembly)
+        fprintf(stderr, "--- fragment %u native: %u bytes at %p\n", F->Id,
+                F->NativeSize, (void *)F->NativeEntry);
+    } else {
+      // Compile-failure governance: the failed compile already returned
+      // its pool reservation; treat the recording as aborted so the
+      // blacklist backoff stops a loop whose trace never fits from
+      // burning recorder time forever. Pool exhaustion additionally
+      // schedules a whole-cache flush, which runs at the next loop edge
+      // (never here -- this stack frame still holds the doomed fragment).
+      if (CR == CompileResult::PoolExhausted)
+        FlushPending = true;
+      Recorder = std::move(R); // restore so abortRecording can bookkeep
+      RecorderLoopState = LS;
+      abortRecording(compileAbortReason(CR), true);
+      return;
     }
   }
 
@@ -556,6 +588,106 @@ void TraceMonitorImpl::finishRecording(const std::vector<Fragment *> &Peers) {
 void TraceMonitorImpl::flushRecorder() {
   if (Recorder)
     abortRecording(AbortReason::DispatchUnwound, false);
+}
+
+// --- Code-cache lifecycle ----------------------------------------------------
+
+AbortReason TraceMonitorImpl::compileAbortReason(CompileResult R) {
+  switch (R) {
+  case CompileResult::PoolExhausted:
+    return AbortReason::CompilePoolExhausted;
+  case CompileResult::AssemblerOverflow:
+    return AbortReason::CompileOverflow;
+  case CompileResult::Unsupported:
+    return AbortReason::CompileUnsupported;
+  case CompileResult::Ok:
+  case CompileResult::BackendUnavailable:
+  case CompileResult::Fault:
+    break;
+  }
+  return AbortReason::CompileFault;
+}
+
+size_t TraceMonitorImpl::codeCacheUsed() const {
+  return Native ? Native->pool().used() : 0;
+}
+
+size_t TraceMonitorImpl::codeCacheCapacity() const {
+  return Native ? Native->pool().capacity() : 0;
+}
+
+void TraceMonitorImpl::requestCacheFlush() {
+  if (Disabled)
+    return;
+  if (Ctx.OnTrace || Recorder) {
+    // Unsafe point: a trace is on the native stack (its code must not be
+    // unmapped under it) or the recorder owns a live fragment. Defer; the
+    // next loop edge outside both states runs the flush.
+    FlushPending = true;
+    return;
+  }
+  flushCacheNow();
+}
+
+void TraceMonitorImpl::flushCacheNow() {
+  assert(!Recorder && !Ctx.OnTrace && "cache flush at an unsafe point");
+  FlushPending = false;
+  size_t Reclaimed = Native ? Native->flushCode() : 0;
+  if (Ctx.EventListener) {
+    for (auto &F : Fragments) {
+      JitEvent E;
+      E.Kind = JitEventKind::FragmentRetired;
+      E.FragmentId = F->Id;
+      E.ScriptId = F->AnchorScript ? F->AnchorScript->Id : ~0u;
+      E.Pc = F->AnchorPc;
+      E.Arg0 = F->NativeSize;
+      E.Arg1 = F->Generation;
+      emitEvent(E);
+    }
+  }
+  Ctx.Stats.FragmentsRetired += Fragments.size();
+
+  // Sever every path back into the retired code, then free it. LoopStates
+  // survive (scripts point at them) but re-enter monitoring cold.
+  for (auto &LS : LoopStates) {
+    LS->Peers.clear();
+    LS->UnstableExits.clear();
+    LS->HitCount = 0;
+    LS->BackoffUntil = 0;
+    LS->Failures = 0;
+  }
+  RecorderAnchorExit = nullptr;
+  Ctx.LastNestedExit = nullptr;
+  Fragments.clear();
+  LirArena.reset(); // every LIR body died with its fragment
+
+  ++CacheGeneration;
+  ++FlushesThisEval;
+  ++Ctx.Stats.CacheFlushes;
+  Ctx.Stats.CacheBytesReclaimed += Reclaimed;
+  if (Ctx.EventListener) {
+    JitEvent E;
+    E.Kind = JitEventKind::CacheFlush;
+    E.Arg0 = CacheGeneration;
+    E.Arg1 = Reclaimed;
+    emitEvent(E);
+  }
+  if (FlushesThisEval >= Ctx.Opts.MaxCacheFlushes)
+    disableJit();
+}
+
+void TraceMonitorImpl::disableJit() {
+  if (Disabled)
+    return;
+  Disabled = true;
+  FlushPending = false;
+  ++Ctx.Stats.JitDisables;
+  if (Ctx.EventListener) {
+    JitEvent E;
+    E.Kind = JitEventKind::JitDisabled;
+    E.Arg0 = FlushesThisEval;
+    emitEvent(E);
+  }
 }
 
 void TraceMonitorImpl::syncStats() {
@@ -688,6 +820,8 @@ LoopState *TraceMonitorImpl::loopStateOfRoot(Fragment *Root) {
 
 uint32_t TraceMonitorImpl::onLoopEdge(Interpreter &I, uint32_t Pc,
                                       uint16_t LoopId) {
+  if (Disabled)
+    return Pc + 3; // kill switch: interpreter-only, one branch of overhead
   bool Stats = Ctx.Opts.CollectStats;
   if (Stats)
     Ctx.Stats.switchTo(Activity::Monitor);
@@ -717,6 +851,17 @@ uint32_t TraceMonitorImpl::onLoopEdge(Interpreter &I, uint32_t Pc,
       NextPc = Pc + 3;
       S = I.currentFrame().Script;
     }
+  }
+
+  // A flush requested at an unsafe point (trace on the native stack,
+  // recorder active, or mid-compile pool exhaustion) runs here, before any
+  // retired fragment could be re-entered.
+  if (FlushPending && !Recorder && !Ctx.OnTrace)
+    flushCacheNow();
+  if (Disabled) {
+    if (Stats)
+      Ctx.Stats.switchTo(Activity::Interpret);
+    return NextPc;
   }
 
   LoopState *LS = loopState(S, LoopId);

@@ -53,6 +53,12 @@ public:
   void flushRecorder() override;
   void syncStats() override;
   void collectFragmentProfiles(std::vector<FragmentProfile> &Out) const override;
+  void onEvalStart() override { FlushesThisEval = 0; }
+  void requestCacheFlush() override;
+  uint32_t cacheGeneration() const override { return CacheGeneration; }
+  bool jitDisabled() const override { return Disabled; }
+  size_t codeCacheUsed() const override;
+  size_t codeCacheCapacity() const override;
 
   // --- Services for the recorder ----------------------------------------------
   Arena &lirArena() { return LirArena; }
@@ -112,6 +118,21 @@ private:
   void blacklist(LoopState *LS);
   LoopState *loopStateOfRoot(Fragment *Root);
 
+  // --- Code-cache lifecycle (see DESIGN.md "Code-cache lifecycle") ----------
+
+  /// Execute a pending or immediate flush. Preconditions: no recorder
+  /// active, no trace on the native stack. Retires every fragment and
+  /// LoopState link, resets the executable pool to its floor, bumps the
+  /// generation, and re-enters monitoring cold. Trips the kill switch when
+  /// the per-eval flush budget is exhausted.
+  void flushCacheNow();
+
+  /// Map a backend CompileResult to its AbortReason (never Ok).
+  static AbortReason compileAbortReason(CompileResult R);
+
+  /// Permanently disable the JIT for this engine (interpreter fallback).
+  void disableJit();
+
   VMContext &Ctx;
   Interpreter &Interp;
   Arena LirArena;
@@ -127,6 +148,12 @@ private:
   std::vector<uint8_t> TarBuffer;
   uint32_t NextFragmentId = 0;
   uint32_t MaxPeersPerLoop = 8;
+
+  // --- Code-cache lifecycle state -------------------------------------------
+  uint32_t CacheGeneration = 0;  ///< Bumped by every completed flush.
+  uint32_t FlushesThisEval = 0;  ///< Reset by onEvalStart(); kill-switch fuel.
+  bool FlushPending = false;     ///< A flush was requested at an unsafe point.
+  bool Disabled = false;         ///< Kill switch: interpreter-only from here.
 };
 
 } // namespace tracejit

@@ -16,9 +16,11 @@ using namespace tracejit;
 
 namespace {
 
-/// Assemble a tiny function and call it directly.
+/// Assemble a tiny function and call it directly. The pool is W^X: it maps
+/// RW for emission, so flip it to RX before handing out a callable.
 template <typename FnT> FnT assembleInto(ExecMemPool &Pool, Assembler &A) {
   EXPECT_FALSE(A.overflowed());
+  EXPECT_TRUE(Pool.makeExecutable());
   return (FnT)A.begin();
 }
 
@@ -136,11 +138,13 @@ TEST(Assembler, ExtendedRegistersEncodeCorrectly) {
   ASSERT_TRUE(Pool.valid());
   // Exercise r8-r15 and xmm8+: int f(int a) { return a * 2 + 7; }
   Assembler A(Pool.allocate(128), 128);
+  A.push(R15); // callee-saved: the C++ caller may live in it
   A.movRR32(R8, RDI);
   A.addRR32(R8, RDI);
   A.movRI32(R15, 7);
   A.addRR32(R8, R15);
   A.movRR32(RAX, R8);
+  A.pop(R15);
   A.ret();
   auto Fn = assembleInto<int (*)(int)>(Pool, A);
   EXPECT_EQ(Fn(21), 49);
@@ -167,7 +171,8 @@ struct BackendFixture : ::testing::Test {
     TarN.resize(TarInit.size() + 64);
     TarX.resize(TarInit.size() + 64);
 
-    ASSERT_TRUE(BE.compile(&F, &Ctx));
+    ASSERT_EQ(BE.compile(&F, &Ctx), CompileResult::Ok);
+    ASSERT_TRUE(BE.ensureExecutable());
     ExitDescriptor *EN = BE.enter(TarN.data(), &F);
     ExitDescriptor *EX =
         LirExecutor::run(&F, (uint8_t *)TarX.data(), &Ctx);
@@ -286,7 +291,7 @@ TEST_F(BackendFixture, StitchedExitTransfersToBranchFragment) {
     BufB.insExit(EB);
     FB.Body = BufB.instructions();
   }
-  ASSERT_TRUE(BE.compile(&FB, &Ctx));
+  ASSERT_EQ(BE.compile(&FB, &Ctx), CompileResult::Ok);
 
   Fragment FA;
   LirBuffer BufA(A);
@@ -302,11 +307,12 @@ TEST_F(BackendFixture, StitchedExitTransfersToBranchFragment) {
     BufA.insExit(EEnd);
     FA.Body = BufA.instructions();
   }
-  ASSERT_TRUE(BE.compile(&FA, &Ctx));
+  ASSERT_EQ(BE.compile(&FA, &Ctx), CompileResult::Ok);
 
   BE.patchExitTo(EA, &FB);
 
   // Native path.
+  ASSERT_TRUE(BE.ensureExecutable());
   std::vector<uint64_t> Tar(8, 0);
   Tar[0] = 5; // guard fails -> goes through the stitched exit into FB
   ExitDescriptor *Got = BE.enter(Tar.data(), &FA);
