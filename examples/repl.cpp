@@ -32,6 +32,10 @@ int main(int argc, char **argv) {
       Opts.JitBackend = Backend::Executor;
     else if (A == "--dump-lir")
       Opts.DumpLIR = true;
+    else if (A == "--verify-lir")
+      Opts.VerifyLir = true;
+    else if (A == "--no-verify-lir")
+      Opts.VerifyLir = false;
   }
 
   auto E = std::make_unique<Engine>(Opts);

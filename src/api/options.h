@@ -37,6 +37,23 @@ const char *faultSiteName(FaultSite S);
 /// are the caller's business; the engine only asks. Empty = no injection.
 using FaultHook = std::function<bool(FaultSite)>;
 
+/// Default for EngineOptions::VerifyLir: always-on wherever assertions are
+/// live (this project strips NDEBUG from optimized builds, so that includes
+/// the default RelWithDebInfo tier) or a sanitizer is active; opt-in in
+/// true Release (-DNDEBUG) builds, where speculation bugs are instead
+/// caught by guards at runtime.
+#if !defined(NDEBUG) || defined(__SANITIZE_ADDRESS__)
+#define TRACEJIT_VERIFY_LIR_DEFAULT true
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(undefined_behavior_sanitizer)
+#define TRACEJIT_VERIFY_LIR_DEFAULT true
+#else
+#define TRACEJIT_VERIFY_LIR_DEFAULT false
+#endif
+#else
+#define TRACEJIT_VERIFY_LIR_DEFAULT false
+#endif
+
 /// LIR filter pipeline stages (§5.1); bitmask for ablation.
 enum FilterMask : uint32_t {
   FilterExprSimp = 1u << 0,  ///< Constant folding + algebraic identities.
@@ -100,6 +117,15 @@ struct EngineOptions {
   /// Diagnostics: dump recorded LIR / filtered LIR / native code sizes.
   bool DumpLIR = false;
   bool DumpAssembly = false;
+
+  /// LIR verifier (lir/verify.h): a streaming VerifyWriter at the head of
+  /// the forward filter pipeline plus a whole-trace pass after the backward
+  /// filters, enforcing the straight-line-SSA/type/guard/exit-map
+  /// invariants the paper's correctness story rests on. A verifier hit
+  /// aborts the recording (AbortReason::VerifyFailed) and blacklists
+  /// instead of compiling garbage. On by default in assertion-enabled and
+  /// sanitizer builds; opt-in under -DNDEBUG.
+  bool VerifyLir = TRACEJIT_VERIFY_LIR_DEFAULT;
 
   /// Observability: install the built-in stderr log listener (one line per
   /// JIT event; see support/events.h).

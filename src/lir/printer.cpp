@@ -22,6 +22,63 @@ static const char *tyName(LTy T) {
   return "?";
 }
 
+/// Compact one-char-per-slot rendering of an exit type map, globals and
+/// stack separated by '|': "[ii|dis]". Long maps are truncated with the
+/// count of the elided tail, keeping guard lines one line.
+static std::string typeMapSummary(const TypeMap &M) {
+  std::string Out = "[";
+  const uint32_t Limit = 32;
+  for (uint32_t I = 0; I < M.size(); ++I) {
+    if (I == M.NumGlobals)
+      Out += "|";
+    if (I >= Limit) {
+      Out += "+" + std::to_string(M.size() - I);
+      break;
+    }
+    switch (M.Types[I]) {
+    case TraceType::Int:
+      Out += "i";
+      break;
+    case TraceType::Double:
+      Out += "d";
+      break;
+    case TraceType::Object:
+      Out += "o";
+      break;
+    case TraceType::String:
+      Out += "s";
+      break;
+    case TraceType::Boolean:
+      Out += "b";
+      break;
+    case TraceType::Null:
+      Out += "n";
+      break;
+    case TraceType::Undefined:
+      Out += "u";
+      break;
+    }
+  }
+  Out += "]";
+  return Out;
+}
+
+/// "exit3(type@12 sp=2 depth=1 types=[|ii])" -- the exit metadata the
+/// verifier's diagnostics (and anyone reading a trace dump) need: which
+/// interpreter state the exit restores, not just where it resumes.
+static void appendExitMeta(std::string &Out, const ExitDescriptor *E) {
+  char Buf[64];
+  if (!E) {
+    Out += "exit?";
+    return;
+  }
+  snprintf(Buf, sizeof(Buf), "exit%u(%s@%u sp=%u depth=%zu types=", E->Id,
+           exitKindName(E->Kind), E->Pc, E->Sp, E->Frames.size());
+  Out += Buf;
+  Out += typeMapSummary(E->Types);
+  Out += ")";
+}
+
 std::string formatIns(const LIns *I) {
   char Buf[256];
   auto Ref = [](const LIns *X) {
@@ -78,23 +135,20 @@ std::string formatIns(const LIns *I) {
   }
   case LOp::GuardT:
   case LOp::GuardF:
-    snprintf(Buf, sizeof(Buf), " %s -> exit%u(%s@%u)", Ref(I->A),
-             I->Exit ? I->Exit->Id : 0,
-             I->Exit ? exitKindName(I->Exit->Kind) : "?",
-             I->Exit ? I->Exit->Pc : 0);
+    snprintf(Buf, sizeof(Buf), " %s -> ", Ref(I->A));
     Out += Buf;
+    appendExitMeta(Out, I->Exit);
     break;
   case LOp::Exit:
-    snprintf(Buf, sizeof(Buf), " -> exit%u(%s@%u)", I->Exit ? I->Exit->Id : 0,
-             I->Exit ? exitKindName(I->Exit->Kind) : "?",
-             I->Exit ? I->Exit->Pc : 0);
-    Out += Buf;
+    Out += " -> ";
+    appendExitMeta(Out, I->Exit);
     break;
   case LOp::TreeCall:
-    snprintf(Buf, sizeof(Buf), " frag%u expecting exit%u",
+    snprintf(Buf, sizeof(Buf), " frag%u expecting exit%u, mismatch -> ",
              I->Target ? I->Target->Id : 0,
              I->ExpectedExit ? I->ExpectedExit->Id : 0);
     Out += Buf;
+    appendExitMeta(Out, I->Exit);
     break;
   case LOp::JmpFrag:
     snprintf(Buf, sizeof(Buf), " -> frag%u", I->Target ? I->Target->Id : 0);
@@ -112,9 +166,9 @@ std::string formatIns(const LIns *I) {
       Out += ", ";
       Out += Ref(I->B);
     }
-    if (I->Exit) {
-      snprintf(Buf, sizeof(Buf), " -> exit%u", I->Exit->Id);
-      Out += Buf;
+    if (I->Exit) { // overflow-checked arithmetic
+      Out += " -> ";
+      appendExitMeta(Out, I->Exit);
     }
     break;
   }

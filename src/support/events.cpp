@@ -72,7 +72,47 @@ const char *abortReasonName(AbortReason R) {
     return "compile-unsupported";
   case AbortReason::CompileFault:
     return "compile-fault";
+  case AbortReason::VerifyFailed:
+    return "verify-failed";
   case AbortReason::NumReasons:
+    break;
+  }
+  return "?";
+}
+
+const char *verifyRuleName(VerifyRule R) {
+  switch (R) {
+  case VerifyRule::None:
+    return "none";
+  case VerifyRule::MissingOperand:
+    return "missing-operand";
+  case VerifyRule::UseBeforeDef:
+    return "use-before-def";
+  case VerifyRule::DanglingOperand:
+    return "dangling-operand";
+  case VerifyRule::OperandType:
+    return "operand-type";
+  case VerifyRule::ResultType:
+    return "result-type";
+  case VerifyRule::CallSignature:
+    return "call-signature";
+  case VerifyRule::GuardWithoutExit:
+    return "guard-without-exit";
+  case VerifyRule::ShiftCountNotImm:
+    return "shift-count-not-imm";
+  case VerifyRule::TarAddressing:
+    return "tar-addressing";
+  case VerifyRule::ExitTypeMapLength:
+    return "exit-type-map-length";
+  case VerifyRule::ExitFrameBounds:
+    return "exit-frame-bounds";
+  case VerifyRule::TransferTarget:
+    return "transfer-target";
+  case VerifyRule::TreeCallTypeMaps:
+    return "tree-call-type-maps";
+  case VerifyRule::Terminator:
+    return "terminator";
+  case VerifyRule::NumRules:
     break;
   }
   return "?";

@@ -77,10 +77,41 @@ enum class AbortReason : uint8_t {
   CompileUnsupported,  ///< LIR the backend cannot compile (opcode/spills).
   CompileFault,        ///< Injected CompileFail or a W^X protect failure.
 
+  // --- LIR verifier (lir/verify.h) -------------------------------------------
+  VerifyFailed,        ///< The verifier rejected the trace; the failed rule
+                       ///< is counted in VMStats::VerifyFailuresByRule.
+
   NumReasons
 };
 
 const char *abortReasonName(AbortReason R);
+
+/// Invariant catalogue of the LIR verifier (src/lir/verify.h). Each rule is
+/// one mechanically checkable clause of the paper's correctness story:
+/// straight-line SSA LIR (§3.1), typed guards with exit maps (§2, §4), and
+/// filter pipelines that preserve both (§5.1). Keep verifyRuleName() in
+/// sync.
+enum class VerifyRule : uint8_t {
+  None = 0,
+  MissingOperand,    ///< A required operand slot is null.
+  UseBeforeDef,      ///< Operand defined later than its use (SSA order).
+  DanglingOperand,   ///< Operand is not in the trace body (e.g. DCE victim).
+  OperandType,       ///< Operand type does not match the op signature.
+  ResultType,        ///< Instruction result type disagrees with the opcode.
+  CallSignature,     ///< Call arity/argument types disagree with CallInfo.
+  GuardWithoutExit,  ///< Guard/overflow/exit op lacks an ExitDescriptor.
+  ShiftCountNotImm,  ///< 64-bit shift count is not an ImmI.
+  TarAddressing,     ///< TAR access disp negative, unaligned, or outside
+                     ///< the fragment's slot domain.
+  ExitTypeMapLength, ///< Exit type map length != NumGlobals + Sp.
+  ExitFrameBounds,   ///< Exit Sp/frame chain inconsistent (bases, pcs).
+  TransferTarget,    ///< TreeCall/JmpFrag target linkage broken.
+  TreeCallTypeMaps,  ///< Call-site and inner-entry type maps disagree.
+  Terminator,        ///< Trace does not end in exactly one terminator.
+  NumRules
+};
+
+const char *verifyRuleName(VerifyRule R);
 
 /// What happened. Keep jitEventKindName() in sync.
 enum class JitEventKind : uint8_t {

@@ -64,6 +64,25 @@ std::string VMStats::report() const {
              (unsigned long long)JitDisables);
     Out += Buf;
   }
+  if (TracesVerified || LirInsVerified || VerifyFailures) {
+    snprintf(Buf, sizeof(Buf),
+             "lir verifier: traces=%llu instructions=%llu failures=%llu\n",
+             (unsigned long long)TracesVerified,
+             (unsigned long long)LirInsVerified,
+             (unsigned long long)VerifyFailures);
+    Out += Buf;
+  }
+  if (VerifyFailures > 0) {
+    Out += "verify failures by rule:\n";
+    for (size_t R = 0; R < (size_t)VerifyRule::NumRules; ++R) {
+      if (VerifyFailuresByRule[R] == 0)
+        continue;
+      snprintf(Buf, sizeof(Buf), "  %-24s %llu\n",
+               verifyRuleName((VerifyRule)R),
+               (unsigned long long)VerifyFailuresByRule[R]);
+      Out += Buf;
+    }
+  }
   if (TracesAborted > 0) {
     Out += "aborts by reason:\n";
     for (size_t R = 0; R < (size_t)AbortReason::NumReasons; ++R) {

@@ -69,6 +69,13 @@ struct VMStats {
   uint64_t ProtectFaults = 0;       ///< W^X flips that failed (enter/compile).
   uint64_t JitDisables = 0;         ///< Kill switch trips (0 or 1).
 
+  // --- LIR verifier counters ------------------------------------------------
+  uint64_t TracesVerified = 0;    ///< Whole-trace verifyTrace() passes run.
+  uint64_t LirInsVerified = 0;    ///< Instructions checked (both entry points).
+  uint64_t VerifyFailures = 0;    ///< Traces rejected by any rule.
+  /// VerifyFailures broken down by the rule taxonomy in events.h.
+  std::array<uint64_t, (size_t)VerifyRule::NumRules> VerifyFailuresByRule{};
+
   // --- LIR pipeline counters ----------------------------------------------
   uint64_t LirEmitted = 0;
   uint64_t LirAfterForwardFilters = 0;

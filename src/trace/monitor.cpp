@@ -9,6 +9,7 @@
 #include "interp/natives.h"
 #include "jit/executor.h"
 #include "lir/backward.h"
+#include "lir/verify.h"
 #include "trace/helpers.h"
 
 namespace tracejit {
@@ -494,23 +495,41 @@ void TraceMonitorImpl::finishRecording(const std::vector<Fragment *> &Peers) {
             F->EntryTypes.describe().c_str(), formatBody(F->Body).c_str());
   }
 
-  std::string TypeErr = typecheckBody(F->Body);
-  if (!TypeErr.empty()) {
-    fprintf(stderr, "tracejit: LIR typecheck failed: %s\n", TypeErr.c_str());
-    F->Body.clear();
-    ++Ctx.Stats.AbortsByReason[(size_t)AbortReason::TypecheckFailed];
-    if (Ctx.EventListener) {
-      JitEvent E;
-      E.Kind = JitEventKind::RecordAbort;
-      E.Reason = AbortReason::TypecheckFailed;
-      E.FragmentId = F->Id;
-      E.ScriptId = F->AnchorScript ? F->AnchorScript->Id : ~0u;
-      E.Pc = F->AnchorPc;
-      emitEvent(E);
+  if (Ctx.Opts.VerifyLir) {
+    // Whole-trace verification after the backward filters, before the
+    // compiler: a trace that breaks the SSA/type/guard/exit-map invariants
+    // aborts and blacklists instead of compiling garbage.
+    VerifyError VErr;
+    if (!verifyTrace(*F, F->EntryTypes.NumGlobals, VErr, &Ctx.Stats)) {
+      fprintf(stderr, "tracejit: LIR verification failed: %s\n",
+              VErr.describe().c_str());
+      F->Body.clear();
+      Recorder = std::move(R); // restore so abortRecording can bookkeep
+      RecorderLoopState = LS;
+      abortRecording(AbortReason::VerifyFailed, true);
+      return;
     }
-    if (Stats)
-      Ctx.Stats.switchTo(Activity::Interpret);
-    return;
+  } else {
+    // Legacy debug typechecker (superseded by the verifier, kept for runs
+    // that explicitly turn VerifyLir off).
+    std::string TypeErr = typecheckBody(F->Body);
+    if (!TypeErr.empty()) {
+      fprintf(stderr, "tracejit: LIR typecheck failed: %s\n", TypeErr.c_str());
+      F->Body.clear();
+      ++Ctx.Stats.AbortsByReason[(size_t)AbortReason::TypecheckFailed];
+      if (Ctx.EventListener) {
+        JitEvent E;
+        E.Kind = JitEventKind::RecordAbort;
+        E.Reason = AbortReason::TypecheckFailed;
+        E.FragmentId = F->Id;
+        E.ScriptId = F->AnchorScript ? F->AnchorScript->Id : ~0u;
+        E.Pc = F->AnchorPc;
+        emitEvent(E);
+      }
+      if (Stats)
+        Ctx.Stats.switchTo(Activity::Interpret);
+      return;
+    }
   }
 
   if (Native) {

@@ -42,6 +42,13 @@ TraceRecorder::TraceRecorder(VMContext &C, Interpreter &I,
     Expr = std::make_unique<ExprFilter>(Head);
     Head = Expr.get();
   }
+  if (Ctx.Opts.VerifyLir) {
+    // Verifier at the very head: it sees each instruction exactly as the
+    // recorder emitted it, before any filter rewrites it.
+    Verify = std::make_unique<VerifyWriter>(Head, *Buffer, numGlobals(),
+                                            &Ctx.Stats);
+    Head = Verify.get();
+  }
   W = Head;
   ParamTar = W->ins0(LOp::ParamTar);
 
@@ -70,6 +77,15 @@ void TraceRecorder::abort(AbortReason Why) {
     St = Status::Aborted;
     AbortCause = Why;
   }
+}
+
+bool TraceRecorder::verifyFailed() {
+  if (!Verify || !Verify->failed())
+    return false;
+  fprintf(stderr, "tracejit: LIR verify failed while recording: %s\n",
+          Verify->error().describe().c_str());
+  abort(AbortReason::VerifyFailed);
+  return true;
 }
 
 bool TraceRecorder::atAnchor(uint32_t Pc) const {
@@ -1050,6 +1066,7 @@ void TraceRecorder::recordTreeCall(Fragment *Inner, ExitDescriptor *Taken) {
   if (Inner->RequiredTarSlots > MaxSlot)
     MaxSlot = Inner->RequiredTarSlots;
   noteSlot(numGlobals() + VSp);
+  verifyFailed(); // a bad stitch point aborts before recording continues
 }
 
 bool TraceRecorder::framesMatch(const std::vector<FrameEntry> &Entry) const {
@@ -1166,6 +1183,8 @@ bool TraceRecorder::closeLoop(const std::vector<Fragment *> &Peers) {
     }
   }
 
+  if (verifyFailed())
+    return false;
   F->Body = std::move(Buffer->instructions());
   F->LirRecorded = (uint32_t)F->Body.size();
   F->RequiredTarSlots = MaxSlot + 8;
@@ -1177,6 +1196,12 @@ bool TraceRecorder::closeLoop(const std::vector<Fragment *> &Peers) {
 
 void TraceRecorder::recordOp(uint32_t Pc) {
   if (St != Status::Recording)
+    return;
+
+  // The previous bytecode's emissions (or the entry instrumentation) may
+  // have tripped the streaming verifier; stop before recording on top of a
+  // malformed trace.
+  if (verifyFailed())
     return;
 
   assert(VSp == Interp.stackTop() && "recorder out of sync with interpreter");
@@ -1199,6 +1224,8 @@ void TraceRecorder::recordOp(uint32_t Pc) {
       (Pc < Loop->HeaderPc || Pc >= Loop->EndPc)) {
     ExitDescriptor *E = snapshot(ExitKind::LoopExit, Pc);
     W->insExit(E);
+    if (verifyFailed())
+      return;
     F->Body = std::move(Buffer->instructions());
     F->LirRecorded = (uint32_t)F->Body.size();
     F->RequiredTarSlots = MaxSlot + 8;

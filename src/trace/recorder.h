@@ -30,6 +30,7 @@
 #include "jit/fragment.h"
 #include "lir/filters.h"
 #include "lir/lir.h"
+#include "lir/verify.h"
 #include "trace/oracle.h"
 
 namespace tracejit {
@@ -207,8 +208,13 @@ private:
   std::unique_ptr<LirBuffer> Buffer;
   std::unique_ptr<CseFilter> Cse;
   std::unique_ptr<ExprFilter> Expr;
+  std::unique_ptr<VerifyWriter> Verify; ///< Head when Opts.VerifyLir.
   LirWriter *W = nullptr;
   LIns *ParamTar = nullptr;
+
+  /// Latched-verifier check: true (and aborts with VerifyFailed, printing
+  /// the diagnostic) when the streaming verifier has rejected an emission.
+  bool verifyFailed();
 
   Status St = Status::Recording;
   AbortReason AbortCause = AbortReason::None;

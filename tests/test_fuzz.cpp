@@ -127,12 +127,17 @@ std::string runOn(const std::string &Src, bool Jit, Backend B) {
   EngineOptions O;
   O.EnableJit = Jit;
   O.JitBackend = B;
+  // The fuzzer is exactly where malformed LIR would surface: run every
+  // JIT configuration with the verifier on and require silence.
+  O.VerifyLir = true;
+  O.CollectStats = true;
   Engine E(O);
   std::string Out;
   E.setPrintHook([&](const std::string &S) { Out += S; });
   auto R = E.eval(Src);
   if (!R.ok())
     return "<error: " + R.Err.describe() + ">";
+  EXPECT_EQ(E.stats().VerifyFailures, 0u) << "program:\n" << Src;
   return Out;
 }
 

@@ -239,6 +239,36 @@ TEST(Typecheck, RejectsTypeMismatch) {
   EXPECT_NE(typecheckBody(Buf.instructions()), "");
 }
 
+TEST(Printer, GuardExitMetadataGolden) {
+  // Guards must print the exit metadata the verifier's diagnostics lean
+  // on: resume point, stack depth, frame depth, and the type-map summary.
+  Arena A;
+  LirBuffer Buf(A);
+  Fragment Frag;
+  LIns *Tar = Buf.ins0(LOp::ParamTar);
+  LIns *X = Buf.insLoad(LOp::LdI, Tar, 0);
+  LIns *C = Buf.ins2(LOp::EqI, X, Buf.insImmI(3));
+  ExitDescriptor *E = Frag.makeExit();
+  E->Kind = ExitKind::Type;
+  E->Pc = 12;
+  E->Sp = 2;
+  E->Frames.push_back({nullptr, 0, 0});
+  E->Types.NumGlobals = 1;
+  E->Types.Types = {TraceType::Int, TraceType::Int, TraceType::Double};
+  LIns *G = Buf.insGuard(LOp::GuardT, C, E);
+  EXPECT_EQ(formatIns(G),
+            "v4    v= xf       v3 -> exit0(type@12 sp=2 depth=1 types=[i|id])");
+
+  ExitDescriptor *Plain = Frag.makeExit();
+  Plain->Kind = ExitKind::LoopExit;
+  Plain->Pc = 7;
+  Plain->Sp = 1;
+  Plain->Types.Types = {TraceType::String};
+  LIns *Tail = Buf.insExit(Plain);
+  EXPECT_EQ(formatIns(Tail),
+            "v5    v= exit     -> exit1(loopexit@7 sp=1 depth=0 types=[|s])");
+}
+
 TEST(Printer, FormatsInstructionsReadably) {
   Arena A;
   LirBuffer Buf(A);
