@@ -3,6 +3,7 @@
 #include "suite.h"
 
 #include <chrono>
+#include <cstdio>
 
 namespace tracejit_bench {
 
@@ -556,6 +557,17 @@ tracejit::EngineOptions tracingOptions() {
   O.EnableJit = true;
   O.JitBackend = Backend::Native;
   return O;
+}
+
+bool applyBenchArgs(tracejit::EngineOptions &O, int argc, char **argv) {
+  bool AllKnown = true;
+  for (int I = 1; I < argc; ++I) {
+    if (!O.applyFlag(argv[I])) {
+      fprintf(stderr, "unknown flag: %s\n", argv[I]);
+      AllKnown = false;
+    }
+  }
+  return AllKnown;
 }
 
 RunResult runProgram(const BenchProgram &P, const EngineOptions &O,

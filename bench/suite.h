@@ -48,6 +48,11 @@ RunResult runProgram(const BenchProgram &P, const tracejit::EngineOptions &O,
 tracejit::EngineOptions interpreterOptions();
 tracejit::EngineOptions tracingOptions();
 
+/// Apply command-line flags to \p O through EngineOptions::applyFlag (the
+/// same table the repl uses); warns on stderr and returns false if any
+/// flag is unrecognized.
+bool applyBenchArgs(tracejit::EngineOptions &O, int argc, char **argv);
+
 } // namespace tracejit_bench
 
 #endif // TRACEJIT_BENCH_SUITE_H

@@ -10,12 +10,20 @@
 //   499999500000
 //   tj> :stats
 //
+// Positional arguments are script files: each is run to completion (with
+// file:line:col diagnostics on error) and the process exits instead of
+// entering the loop. Flags are EngineOptions::applyFlag spellings
+// ("--no-jit", "--ic", "--stats", ...).
+//
 //===----------------------------------------------------------------------===//
 
 #include <cstdio>
+#include <fstream>
 #include <iostream>
 #include <memory>
+#include <sstream>
 #include <string>
+#include <vector>
 
 #include "api/engine.h"
 
@@ -24,22 +32,41 @@ using namespace tracejit;
 int main(int argc, char **argv) {
   EngineOptions Opts;
   Opts.CollectStats = true;
+  std::vector<std::string> Files;
   for (int I = 1; I < argc; ++I) {
     std::string A = argv[I];
-    if (A == "--no-jit")
-      Opts.EnableJit = false;
-    else if (A == "--executor")
-      Opts.JitBackend = Backend::Executor;
-    else if (A == "--dump-lir")
-      Opts.DumpLIR = true;
-    else if (A == "--verify-lir")
-      Opts.VerifyLir = true;
-    else if (A == "--no-verify-lir")
-      Opts.VerifyLir = false;
+    if (!A.empty() && A[0] == '-') {
+      if (!Opts.applyFlag(A)) {
+        std::cerr << "unknown flag: " << A << "\n";
+        return 2;
+      }
+    } else {
+      Files.push_back(A);
+    }
   }
 
   auto E = std::make_unique<Engine>(Opts);
   E->setPrintHook([](const std::string &S) { std::cout << S; });
+
+  // Script mode: run each file through the FileName-carrying eval so
+  // diagnostics say which script failed, then exit without a prompt.
+  if (!Files.empty()) {
+    for (const std::string &Path : Files) {
+      std::ifstream In(Path);
+      if (!In) {
+        std::cerr << "cannot open " << Path << "\n";
+        return 1;
+      }
+      std::ostringstream Buf;
+      Buf << In.rdbuf();
+      auto R = E->eval(Buf.str(), Path);
+      if (!R.ok()) {
+        std::cerr << R.Err.describe() << "\n";
+        return 1;
+      }
+    }
+    return 0;
+  }
 
   std::cout << "tracejit REPL -- MiniJS with a trace-compiling JIT\n"
             << "commands: :stats  :reset  :quit   (everything else is "

@@ -50,8 +50,6 @@ EvalResult Engine::eval(std::string_view Source) {
   FunctionScript *Top = compileSource(Ctx, Source, &ParseErr);
   if (!Top) {
     R.Err = std::move(ParseErr);
-    R.Ok = false;
-    R.Error = R.Err.describe();
     return R;
   }
 
@@ -63,12 +61,17 @@ EvalResult Engine::eval(std::string_view Source) {
   if (Ctx.HasError) {
     R.Err.Kind = ErrorKind::Runtime;
     R.Err.Message = Ctx.ErrorMessage;
-    R.Ok = false;
-    R.Error = R.Err.describe();
     Ctx.HasError = false;
     return R;
   }
   R.LastValue = Ctx.LastResult;
+  return R;
+}
+
+EvalResult Engine::eval(std::string_view Source, std::string_view FileName) {
+  EvalResult R = eval(Source);
+  if (!R.ok())
+    R.Err.File = FileName;
   return R;
 }
 

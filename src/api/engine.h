@@ -40,14 +40,15 @@ public:
   Engine(const Engine &) = delete;
   Engine &operator=(const Engine &) = delete;
 
-  /// Deprecated spelling of EvalResult (pre-redesign name).
-  using Result = EvalResult;
-
   /// Compile and run a program. Lex/parse/runtime errors are reported in
   /// the result (with line/column where known); the engine stays usable
   /// afterwards. On success, EvalResult::LastValue is the value of the
   /// program's last top-level expression statement.
   EvalResult eval(std::string_view Source);
+
+  /// Same, but errors carry \p FileName so EngineError::describe() renders
+  /// "file:line:col" diagnostics (what the repl uses for script files).
+  EvalResult eval(std::string_view Source, std::string_view FileName);
 
   /// Where `print` output goes (default: stdout).
   void setPrintHook(std::function<void(const std::string &)> Hook);

@@ -1,0 +1,62 @@
+//===- options.cpp - Engine flag table --------------------------------------===//
+
+#include "api/options.h"
+
+namespace tracejit {
+
+namespace {
+
+/// One boolean engine flag: "--name" sets the field to Value.
+struct BoolFlag {
+  std::string_view Name;
+  bool EngineOptions::*Field;
+  bool Value;
+};
+
+constexpr BoolFlag BoolFlags[] = {
+    {"--jit", &EngineOptions::EnableJit, true},
+    {"--no-jit", &EngineOptions::EnableJit, false},
+    {"--ic", &EngineOptions::EnableIC, true},
+    {"--no-ic", &EngineOptions::EnableIC, false},
+    {"--threaded-dispatch", &EngineOptions::ThreadedDispatch, true},
+    {"--no-threaded-dispatch", &EngineOptions::ThreadedDispatch, false},
+    {"--verify-lir", &EngineOptions::VerifyLir, true},
+    {"--no-verify-lir", &EngineOptions::VerifyLir, false},
+    {"--stats", &EngineOptions::CollectStats, true},
+    {"--no-stats", &EngineOptions::CollectStats, false},
+    {"--dump-lir", &EngineOptions::DumpLIR, true},
+    {"--dump-asm", &EngineOptions::DumpAssembly, true},
+    {"--log-jit-events", &EngineOptions::LogJitEvents, true},
+    {"--trace-events", &EngineOptions::CaptureTraceEvents, true},
+    {"--nesting", &EngineOptions::EnableNesting, true},
+    {"--no-nesting", &EngineOptions::EnableNesting, false},
+    {"--stitching", &EngineOptions::EnableStitching, true},
+    {"--no-stitching", &EngineOptions::EnableStitching, false},
+    {"--blacklisting", &EngineOptions::EnableBlacklisting, true},
+    {"--no-blacklisting", &EngineOptions::EnableBlacklisting, false},
+    {"--oracle", &EngineOptions::EnableOracle, true},
+    {"--no-oracle", &EngineOptions::EnableOracle, false},
+};
+
+} // namespace
+
+bool EngineOptions::applyFlag(std::string_view Flag) {
+  for (const BoolFlag &F : BoolFlags) {
+    if (Flag == F.Name) {
+      this->*F.Field = F.Value;
+      return true;
+    }
+  }
+  // Non-boolean flags.
+  if (Flag == "--native") {
+    JitBackend = Backend::Native;
+    return true;
+  }
+  if (Flag == "--executor") {
+    JitBackend = Backend::Executor;
+    return true;
+  }
+  return false;
+}
+
+} // namespace tracejit

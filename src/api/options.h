@@ -12,6 +12,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <string_view>
 
 namespace tracejit {
 
@@ -52,6 +53,13 @@ using FaultHook = std::function<bool(FaultSite)>;
 #endif
 #else
 #define TRACEJIT_VERIFY_LIR_DEFAULT false
+#endif
+
+/// Default for EngineOptions::EnableIC. CMake exposes it as the cache
+/// variable TRACEJIT_IC_DEFAULT so the CI fallback leg can build a tree
+/// whose engines run IC-less unless a test opts back in.
+#if !defined(TRACEJIT_IC_DEFAULT)
+#define TRACEJIT_IC_DEFAULT 1
 #endif
 
 /// LIR filter pipeline stages (§5.1); bitmask for ablation.
@@ -153,6 +161,25 @@ struct EngineOptions {
   /// FaultSite. Tests use this to force every failure path (map, alloc,
   /// protect, compile) without real memory pressure.
   FaultHook FaultInjector;
+
+  // --- Interpreter hot path ---------------------------------------------------
+
+  /// Per-site property inline caches (vm/ic.h): GetProp/SetProp probe a
+  /// mono/poly shape cache before the dictionary lookup, and the trace
+  /// recorder reuses the cached shape+slot when emitting guards. Off
+  /// reproduces the seed interpreter's lookup path bit-for-bit.
+  bool EnableIC = TRACEJIT_IC_DEFAULT != 0;
+
+  /// Computed-goto threaded dispatch for the interpreter loop. Only
+  /// effective when the build detected compiler support (CMake defines
+  /// TRACEJIT_COMPUTED_GOTO); otherwise the switch loop runs regardless.
+  bool ThreadedDispatch = true;
+
+  /// Apply one command-line style flag ("--ic", "--no-jit", ...) to this
+  /// options struct. The single source of truth for engine flags: the repl
+  /// and the bench harness both parse through it. Returns false when the
+  /// flag is not recognized.
+  bool applyFlag(std::string_view Flag);
 };
 
 } // namespace tracejit

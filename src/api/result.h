@@ -36,17 +36,28 @@ struct EngineError {
   ErrorKind Kind = ErrorKind::None;
   uint32_t Line = 0; ///< 1-based; 0 when unknown (typical for runtime errors).
   uint32_t Col = 0;  ///< 1-based; 0 when unknown.
+  std::string File; ///< Source name from Engine::eval(Source, FileName); may
+                    ///< be empty (anonymous eval).
   std::string Message;
 
   explicit operator bool() const { return Kind != ErrorKind::None; }
 
-  /// One-line rendering, e.g. "SyntaxError: line 3, col 7: expected ';'".
+  /// One-line rendering, e.g. "SyntaxError: line 3, col 7: expected ';'"
+  /// or, with a file name, "SyntaxError: fib.js:3:7: expected ';'".
   std::string describe() const {
     if (Kind == ErrorKind::None)
       return "";
     std::string Out =
         Kind == ErrorKind::Runtime ? "RuntimeError: " : "SyntaxError: ";
-    if (Line) {
+    if (!File.empty()) {
+      Out += File;
+      if (Line) {
+        Out += ":" + std::to_string(Line);
+        if (Col)
+          Out += ":" + std::to_string(Col);
+      }
+      Out += ": ";
+    } else if (Line) {
       Out += "line " + std::to_string(Line);
       if (Col)
         Out += ", col " + std::to_string(Col);
@@ -65,11 +76,6 @@ struct EvalResult {
   Value LastValue = Value::undefined();
 
   bool ok() const { return Err.Kind == ErrorKind::None; }
-
-  // Deprecated pre-redesign fields, kept in sync by Engine::eval. New code
-  // should use ok() / Err.
-  bool Ok = true;
-  std::string Error;
 };
 
 } // namespace tracejit

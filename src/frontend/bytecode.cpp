@@ -14,7 +14,7 @@ static const OpInfo OpTable[] = {
     {"popresult", 0},
     {"dup", 0},          {"dup2", 0},       {"getlocal", 2},
     {"setlocal", 2},     {"getglobal", 2},  {"setglobal", 2},
-    {"getprop", 2},      {"setprop", 2},    {"initprop", 2},
+    {"getprop", 4},      {"setprop", 4},    {"initprop", 2},
     {"getelem", 0},      {"setelem", 0},    {"add", 0},
     {"sub", 0},          {"mul", 0},        {"div", 0},
     {"mod", 0},          {"neg", 0},        {"bitand", 0},
@@ -53,7 +53,13 @@ std::string FunctionScript::disassemble() const {
       break;
     }
     case Op::GetProp:
-    case Op::SetProp:
+    case Op::SetProp: {
+      String *A = Atoms[u16At(Pc + 1)];
+      snprintf(Buf, sizeof(Buf), " .%s ic=%u", std::string(A->view()).c_str(),
+               u16At(Pc + 3));
+      Out += Buf;
+      break;
+    }
     case Op::InitProp: {
       String *A = Atoms[u16At(Pc + 1)];
       snprintf(Buf, sizeof(Buf), " .%s", std::string(A->view()).c_str());

@@ -28,6 +28,7 @@
 #include <string>
 #include <vector>
 
+#include "vm/ic.h"
 #include "vm/value.h"
 
 namespace tracejit {
@@ -58,8 +59,8 @@ enum class Op : uint8_t {
   GetGlobal, // u16 slot
   SetGlobal, // u16 slot; peeks like SetLocal
 
-  GetProp,  // u16 atom index; obj -> value
-  SetProp,  // u16 atom index; obj value -> value
+  GetProp,  // u16 atom index, u16 IC index; obj -> value
+  SetProp,  // u16 atom index, u16 IC index; obj value -> value
   InitProp, // u16 atom index; obj value -> obj (object literal init)
   GetElem,  // obj index -> value
   SetElem,  // obj index value -> value
@@ -132,6 +133,10 @@ struct FunctionScript {
   std::vector<Value> Consts;
   std::vector<String *> Atoms;
   std::vector<LoopRecord> Loops;
+  /// Property inline caches, one per GetProp/SetProp site (indexed by the
+  /// bytecode's second u16 operand). Mutable execution state, not code:
+  /// reset wholesale by VMContext::invalidateAllICs().
+  std::vector<PropertyIC> ICs;
 
   Op opAt(uint32_t Pc) const { return (Op)Code[Pc]; }
   uint16_t u16At(uint32_t Pc) const {

@@ -117,6 +117,11 @@ uint16_t Parser::addAtom(std::string_view Name) {
   return (uint16_t)(Script->Atoms.size() - 1);
 }
 
+uint16_t Parser::allocIC() {
+  Script->ICs.emplace_back();
+  return (uint16_t)(Script->ICs.size() - 1);
+}
+
 uint16_t Parser::localSlot(std::string_view Name, bool Declare) {
   auto It = Locals.find(std::string(Name));
   if (It != Locals.end())
@@ -148,6 +153,7 @@ void Parser::loadRef(const Ref &R) {
   case RefKind::Prop:
     emitOp(Op::GetProp, 0); // obj -> value
     emitU16(R.Slot);
+    emitU16(allocIC());
     break;
   case RefKind::Elem:
     emitOp(Op::GetElem, -1); // obj idx -> value
@@ -171,6 +177,7 @@ void Parser::storeRef(const Ref &R) {
   case RefKind::Prop:
     emitOp(Op::SetProp, -1); // obj value -> value
     emitU16(R.Slot);
+    emitU16(allocIC());
     break;
   case RefKind::Elem:
     emitOp(Op::SetElem, -2); // obj idx value -> value

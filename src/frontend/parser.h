@@ -79,6 +79,8 @@ private:
   uint16_t addConst(Value V);
   uint16_t addNumberConst(double D);
   uint16_t addAtom(std::string_view Name);
+  /// Reserve a fresh property inline-cache slot for a GetProp/SetProp site.
+  uint16_t allocIC();
 
   // --- References (assignable expressions) ------------------------------------
   enum class RefKind : uint8_t { None, Local, Global, Prop, Elem };

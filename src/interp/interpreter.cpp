@@ -268,9 +268,277 @@ Value Interpreter::run(FunctionScript *Top) {
 
 Value Interpreter::dispatch() { return dispatchUntil(Frames.size() - 1); }
 
+// --- Shared op bodies (multi-label cases in the seed switch) --------------------
+
+void Interpreter::execBitop(Op O) {
+  Value B = Stack[Sp - 1];
+  Value A = Stack[Sp - 2];
+  --Sp;
+  int32_t X = A.isInt() ? A.toInt() : valueToInt32(A);
+  int32_t Y = B.isInt() ? B.toInt() : valueToInt32(B);
+  int32_t R;
+  switch (O) {
+  case Op::BitAnd:
+    R = X & Y;
+    break;
+  case Op::BitOr:
+    R = X | Y;
+    break;
+  case Op::BitXor:
+    R = X ^ Y;
+    break;
+  case Op::Shl:
+    R = (int32_t)((uint32_t)X << (Y & 31));
+    break;
+  default:
+    R = X >> (Y & 31);
+    break;
+  }
+  Stack[Sp - 1] = Value::makeInt(R);
+  ++Pc;
+}
+
+void Interpreter::execCompare(Op O) {
+  Value B = Stack[Sp - 1];
+  Value A = Stack[Sp - 2];
+  --Sp;
+  bool R;
+  if (A.isInt() && B.isInt()) {
+    int32_t X = A.toInt(), Y = B.toInt();
+    R = O == Op::Lt   ? X < Y
+        : O == Op::Le ? X <= Y
+        : O == Op::Gt ? X > Y
+                      : X >= Y;
+  } else {
+    int Cv = compareValues(A, B);
+    if (Cv == 2)
+      R = false;
+    else
+      R = O == Op::Lt   ? Cv < 0
+          : O == Op::Le ? Cv <= 0
+          : O == Op::Gt ? Cv > 0
+                        : Cv >= 0;
+  }
+  Stack[Sp - 1] = Value::makeBoolean(R);
+  ++Pc;
+}
+
+void Interpreter::execEquality(bool Negate) {
+  Value B = Stack[Sp - 1];
+  Value A = Stack[Sp - 2];
+  --Sp;
+  bool R = looseEquals(A, B);
+  Stack[Sp - 1] = Value::makeBoolean(Negate ? !R : R);
+  ++Pc;
+}
+
+void Interpreter::execStrictEquality(bool Negate) {
+  Value B = Stack[Sp - 1];
+  Value A = Stack[Sp - 2];
+  --Sp;
+  bool R = strictEquals(A, B);
+  Stack[Sp - 1] = Value::makeBoolean(Negate ? !R : R);
+  ++Pc;
+}
+
+bool Interpreter::popReturnFrame(size_t StopDepth, Value R) {
+  Frame Done = Frames.back();
+  Frames.pop_back();
+  if (Frames.size() == StopDepth) {
+    Sp = Done.Base;
+    if (Done.Base > 0)
+      --Sp; // drop the callee slot pushed by callValue
+    return true;
+  }
+  Sp = Done.Base - 1; // drop args, locals, and the callee slot
+  Stack[Sp++] = R;
+  Pc = Done.ReturnPc;
+  return false;
+}
+
+// --- Property inline caches -----------------------------------------------------
+
+bool Interpreter::icGetProp(PropertyIC &IC, const Value &B, Value &Out) {
+  // No ICState check: entries stay valid for the engine's lifetime (shapes
+  // are immutable, transitions memoized), so even a Mega site keeps
+  // serving its frozen entries -- it just stopped learning. Uninit has
+  // N == 0 and falls through the scan.
+  if (B.isObject()) {
+    Object *O = B.toObject();
+    Shape *S = O->shape();
+    uint8_t K = (uint8_t)O->kind();
+    for (uint8_t I = 0; I < IC.N; ++I) {
+      const ICEntry &E = IC.Entries[I];
+      if (E.ShapePtr != S || E.KindGuard != K)
+        continue;
+      if (E.Kind == ICEntryKind::Slot) { // hot case first
+        Out = O->slotValue(E.Slot);
+        return true;
+      }
+      if (E.Kind == ICEntryKind::Absent) {
+        Out = Value::undefined();
+        return true;
+      }
+      if (E.Kind == ICEntryKind::ArrayLength) {
+        Out = Value::makeInt((int32_t)O->arrayLength());
+        return true;
+      }
+      return false; // StringLength/Transition never match an object probe
+    }
+    return false;
+  }
+  if (B.isString()) {
+    for (uint8_t I = 0; I < IC.N; ++I) {
+      if (IC.Entries[I].Kind == ICEntryKind::StringLength) {
+        Out = Value::makeInt((int32_t)B.toString()->length());
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+void Interpreter::icFillGetProp(PropertyIC &IC, const Value &B, String *Name,
+                                FunctionScript *Script, uint32_t Pc) {
+  ICEntry E;
+  if (B.isString()) {
+    // getPropValue succeeded on a string, so the name was "length".
+    E.Kind = ICEntryKind::StringLength;
+  } else if (B.isObject()) {
+    Object *O = B.toObject();
+    E.ShapePtr = O->shape();
+    E.KindGuard = (uint8_t)O->kind();
+    // Mirror getPropValue's resolution order: array length shadows any
+    // named slot that happens to be called "length".
+    if (O->isArray() && Name->view() == "length") {
+      E.Kind = ICEntryKind::ArrayLength;
+    } else {
+      int Slot = O->slotOf(Name);
+      if (Slot >= 0) {
+        E.Kind = ICEntryKind::Slot;
+        E.Slot = (uint32_t)Slot;
+      } else {
+        E.Kind = ICEntryKind::Absent;
+      }
+    }
+  } else {
+    return; // primitive receivers error out before reaching the fill
+  }
+  icInsert(IC, E, Script, Pc);
+}
+
+bool Interpreter::icSetProp(PropertyIC &IC, Object *O, Value V) {
+  Shape *S = O->shape();
+  uint8_t K = (uint8_t)O->kind();
+  for (uint8_t I = 0; I < IC.N; ++I) {
+    const ICEntry &E = IC.Entries[I];
+    if (E.ShapePtr != S || E.KindGuard != K)
+      continue;
+    if (E.Kind == ICEntryKind::Slot) {
+      O->setSlotValue(E.Slot, V);
+      return true;
+    }
+    if (E.Kind == ICEntryKind::Transition) {
+      O->applyTransition(E.Target, E.Slot, V);
+      return true;
+    }
+    return false;
+  }
+  return false;
+}
+
+void Interpreter::icFillSetProp(PropertyIC &IC, Object *O, Shape *OldShape,
+                                String *Name, FunctionScript *Script,
+                                uint32_t Pc) {
+  ICEntry E;
+  E.ShapePtr = OldShape;
+  E.KindGuard = (uint8_t)O->kind();
+  if (O->shape() == OldShape) {
+    int Slot = O->slotOf(Name);
+    if (Slot < 0)
+      return;
+    E.Kind = ICEntryKind::Slot;
+    E.Slot = (uint32_t)Slot;
+  } else {
+    // setProperty transitioned. ShapeTree::transition is memoized, so the
+    // (From, Name) -> (To, Slot) triple is stable and safe to replay.
+    E.Kind = ICEntryKind::Transition;
+    E.Target = O->shape();
+    E.Slot = OldShape->slotCount();
+  }
+  icInsert(IC, E, Script, Pc);
+}
+
+void Interpreter::icInsert(PropertyIC &IC, const ICEntry &E,
+                           FunctionScript *Script, uint32_t Pc) {
+  if (IC.State == ICState::Mega)
+    return;
+  for (uint8_t I = 0; I < IC.N; ++I) {
+    const ICEntry &X = IC.Entries[I];
+    if (X.ShapePtr == E.ShapePtr && X.KindGuard == E.KindGuard &&
+        X.Kind == E.Kind)
+      return; // already cached
+  }
+  ICState NewState;
+  if (IC.N < PropertyIC::MaxEntries) {
+    IC.Entries[IC.N++] = E;
+    NewState = IC.N == 1 ? ICState::Mono : ICState::Poly;
+  } else {
+    NewState = ICState::Mega;
+    ++Ctx.Stats.IcMegamorphicSites; // rare, counted unconditionally like GCs
+  }
+  if (NewState == IC.State)
+    return;
+  IC.State = NewState;
+  // Polymorphism observed at this site is speculation feedback, exactly
+  // like an oracle demotion (§5): the recorder consults it to choose
+  // multi-shape guards (poly) or to abort recording (mega).
+  if (Ctx.Monitor && NewState != ICState::Mono)
+    Ctx.Monitor->notePropSite(Script->Id, Pc, NewState == ICState::Mega);
+  if (Ctx.EventListener) {
+    JitEvent Ev;
+    Ev.Kind = JitEventKind::IcTransition;
+    Ev.ScriptId = Script->Id;
+    Ev.Pc = Pc;
+    Ev.Arg0 = (uint64_t)NewState;
+    Ev.Arg1 = IC.N;
+    Ctx.emitEvent(Ev);
+  }
+}
+
+// --- Dispatch harnesses ---------------------------------------------------------
+
 Value Interpreter::dispatchUntil(size_t StopDepth) {
+#if defined(TRACEJIT_COMPUTED_GOTO)
+  if (Ctx.Opts.ThreadedDispatch)
+    return dispatchThreaded(StopDepth);
+#endif
+  return dispatchSwitch(StopDepth);
+}
+
+/// X-macro over every opcode, in Op enum order. Drives the threaded-dispatch
+/// label table; must stay in sync with enum Op (static_asserted below).
+#define TJ_FOR_EACH_OP(X)                                                      \
+  X(Nop) X(LoopHeader) X(Nop3) X(PushConst) X(PushUndefined) X(Pop)            \
+  X(PopResult) X(Dup) X(Dup2) X(GetLocal) X(SetLocal) X(GetGlobal)             \
+  X(SetGlobal) X(GetProp) X(SetProp) X(InitProp) X(GetElem) X(SetElem)         \
+  X(Add) X(Sub) X(Mul) X(Div) X(Mod) X(Neg) X(BitAnd) X(BitOr) X(BitXor)       \
+  X(Shl) X(Shr) X(Ushr) X(BitNot) X(Lt) X(Le) X(Gt) X(Ge) X(Eq) X(Ne)          \
+  X(StrictEq) X(StrictNe) X(LogicalNot) X(Jump) X(JumpIfFalse) X(JumpIfTrue)   \
+  X(Call) X(CallProp) X(Return) X(ReturnUndefined) X(NewArray) X(NewObject)
+
+#define TJ_COUNT(name) +1
+static_assert(0 TJ_FOR_EACH_OP(TJ_COUNT) == (int)Op::NumOps,
+              "TJ_FOR_EACH_OP out of sync with enum Op");
+#undef TJ_COUNT
+
+Value Interpreter::dispatchSwitch(size_t StopDepth) {
   VMContext &C = Ctx;
-  bool Stats = C.Opts.CollectStats;
+  const bool Stats = C.Opts.CollectStats;
+  const bool IcOn = C.Opts.EnableIC;
+  Frame *F;
+  FunctionScript *Script;
+  Op O;
 
   while (true) {
     if (C.HasError) {
@@ -279,9 +547,9 @@ Value Interpreter::dispatchUntil(size_t StopDepth) {
         Frames.pop_back();
       return Value::undefined();
     }
-    Frame &F = Frames.back();
-    FunctionScript *Script = F.Script;
-    Op O = (Op)Script->Code[Pc];
+    F = &Frames.back();
+    Script = F->Script;
+    O = (Op)Script->Code[Pc];
 
     if (C.Monitor && C.Monitor->recording() && O != Op::LoopHeader) {
       C.Monitor->recordOp(*this, Pc);
@@ -292,410 +560,68 @@ Value Interpreter::dispatchUntil(size_t StopDepth) {
     }
 
     switch (O) {
-    case Op::Nop:
-      ++Pc;
-      break;
-    case Op::Nop3:
-      Pc += 3;
-      break;
-
-    case Op::LoopHeader: {
-      if (C.PreemptFlag && !C.OnTrace)
-        C.servicePreempt();
-      if (C.Monitor) {
-        uint16_t LoopId = Script->u16At(Pc + 1);
-        uint32_t NewPc = C.Monitor->onLoopEdge(*this, Pc, LoopId);
-        Pc = NewPc;
-      } else {
-        Pc += 3;
-      }
-      break;
-    }
-
-    case Op::PushConst:
-      Stack[Sp++] = Script->Consts[Script->u16At(Pc + 1)];
-      Pc += 3;
-      break;
-    case Op::PushUndefined:
-      Stack[Sp++] = Value::undefined();
-      ++Pc;
-      break;
-    case Op::Pop:
-      --Sp;
-      ++Pc;
-      break;
-    case Op::PopResult:
-      Ctx.LastResult = Stack[--Sp];
-      ++Pc;
-      break;
-    case Op::Dup:
-      Stack[Sp] = Stack[Sp - 1];
-      ++Sp;
-      ++Pc;
-      break;
-    case Op::Dup2:
-      Stack[Sp] = Stack[Sp - 2];
-      Stack[Sp + 1] = Stack[Sp - 1];
-      Sp += 2;
-      ++Pc;
-      break;
-
-    case Op::GetLocal:
-      Stack[Sp++] = Stack[F.Base + Script->u16At(Pc + 1)];
-      Pc += 3;
-      break;
-    case Op::SetLocal:
-      Stack[F.Base + Script->u16At(Pc + 1)] = Stack[Sp - 1];
-      Pc += 3;
-      break;
-    case Op::GetGlobal:
-      Stack[Sp++] = C.Globals.Values[Script->u16At(Pc + 1)];
-      Pc += 3;
-      break;
-    case Op::SetGlobal:
-      C.Globals.Values[Script->u16At(Pc + 1)] = Stack[Sp - 1];
-      Pc += 3;
-      break;
-
-    case Op::GetProp: {
-      Value B = Stack[Sp - 1];
-      Stack[Sp - 1] = getPropValue(B, Script->Atoms[Script->u16At(Pc + 1)]);
-      Pc += 3;
-      break;
-    }
-    case Op::SetProp: {
-      Value V = Stack[Sp - 1];
-      Value B = Stack[Sp - 2];
-      if (!B.isObject()) {
-        rtError("property store on a non-object");
-        break;
-      }
-      B.toObject()->setProperty(C.Shapes, Script->Atoms[Script->u16At(Pc + 1)],
-                                V);
-      Stack[Sp - 2] = V;
-      --Sp;
-      Pc += 3;
-      break;
-    }
-    case Op::InitProp: {
-      Value V = Stack[Sp - 1];
-      Value B = Stack[Sp - 2];
-      B.toObject()->setProperty(C.Shapes, Script->Atoms[Script->u16At(Pc + 1)],
-                                V);
-      --Sp;
-      Pc += 3;
-      break;
-    }
-    case Op::GetElem: {
-      Value I = Stack[Sp - 1];
-      Value B = Stack[Sp - 2];
-      Stack[Sp - 2] = getElemValue(B, I);
-      --Sp;
-      ++Pc;
-      break;
-    }
-    case Op::SetElem: {
-      Value V = Stack[Sp - 1];
-      Value I = Stack[Sp - 2];
-      Value B = Stack[Sp - 3];
-      setElemValue(B, I, V);
-      Stack[Sp - 3] = V;
-      Sp -= 2;
-      ++Pc;
-      break;
-    }
-
-    case Op::Add: {
-      Value B = Stack[Sp - 1];
-      Value A = Stack[Sp - 2];
-      --Sp;
-      if (A.isInt() && B.isInt()) {
-        int64_t R = (int64_t)A.toInt() + B.toInt();
-        Stack[Sp - 1] = Value::fitsInt31(R)
-                            ? Value::makeInt((int32_t)R)
-                            : C.TheHeap.boxDouble((double)R);
-      } else if (A.isString() || B.isString()) {
-        Stack[Sp - 1] = concatValues(A, B);
-      } else {
-        Stack[Sp - 1] = C.TheHeap.boxNumber(toNumber(A) + toNumber(B));
-      }
-      ++Pc;
-      break;
-    }
-    case Op::Sub: {
-      Value B = Stack[Sp - 1];
-      Value A = Stack[Sp - 2];
-      --Sp;
-      if (A.isInt() && B.isInt()) {
-        int64_t R = (int64_t)A.toInt() - B.toInt();
-        Stack[Sp - 1] = Value::fitsInt31(R)
-                            ? Value::makeInt((int32_t)R)
-                            : C.TheHeap.boxDouble((double)R);
-      } else {
-        Stack[Sp - 1] = C.TheHeap.boxNumber(toNumber(A) - toNumber(B));
-      }
-      ++Pc;
-      break;
-    }
-    case Op::Mul: {
-      Value B = Stack[Sp - 1];
-      Value A = Stack[Sp - 2];
-      --Sp;
-      if (A.isInt() && B.isInt()) {
-        int64_t R = (int64_t)A.toInt() * B.toInt();
-        Stack[Sp - 1] = Value::fitsInt31(R)
-                            ? Value::makeInt((int32_t)R)
-                            : C.TheHeap.boxDouble((double)R);
-      } else {
-        Stack[Sp - 1] = C.TheHeap.boxNumber(toNumber(A) * toNumber(B));
-      }
-      ++Pc;
-      break;
-    }
-    case Op::Div: {
-      Value B = Stack[Sp - 1];
-      Value A = Stack[Sp - 2];
-      --Sp;
-      Stack[Sp - 1] = C.TheHeap.boxNumber(toNumber(A) / toNumber(B));
-      ++Pc;
-      break;
-    }
-    case Op::Mod: {
-      Value B = Stack[Sp - 1];
-      Value A = Stack[Sp - 2];
-      --Sp;
-      if (A.isInt() && B.isInt() && A.toInt() >= 0 && B.toInt() > 0) {
-        Stack[Sp - 1] = Value::makeInt(A.toInt() % B.toInt());
-      } else {
-        Stack[Sp - 1] =
-            C.TheHeap.boxNumber(std::fmod(toNumber(A), toNumber(B)));
-      }
-      ++Pc;
-      break;
-    }
-    case Op::Neg: {
-      Value A = Stack[Sp - 1];
-      if (A.isInt() && A.toInt() != 0 && A.toInt() != INT32_MIN)
-        Stack[Sp - 1] = Value::makeInt(-A.toInt());
-      else
-        Stack[Sp - 1] = C.TheHeap.boxDouble(-toNumber(A));
-      ++Pc;
-      break;
-    }
-
-    case Op::BitAnd:
-    case Op::BitOr:
-    case Op::BitXor:
-    case Op::Shl:
-    case Op::Shr: {
-      Value B = Stack[Sp - 1];
-      Value A = Stack[Sp - 2];
-      --Sp;
-      int32_t X = A.isInt() ? A.toInt() : valueToInt32(A);
-      int32_t Y = B.isInt() ? B.toInt() : valueToInt32(B);
-      int32_t R;
-      switch (O) {
-      case Op::BitAnd:
-        R = X & Y;
-        break;
-      case Op::BitOr:
-        R = X | Y;
-        break;
-      case Op::BitXor:
-        R = X ^ Y;
-        break;
-      case Op::Shl:
-        R = (int32_t)((uint32_t)X << (Y & 31));
-        break;
-      default:
-        R = X >> (Y & 31);
-        break;
-      }
-      Stack[Sp - 1] = Value::makeInt(R);
-      ++Pc;
-      break;
-    }
-    case Op::Ushr: {
-      Value B = Stack[Sp - 1];
-      Value A = Stack[Sp - 2];
-      --Sp;
-      uint32_t X = (uint32_t)(A.isInt() ? A.toInt() : valueToInt32(A));
-      int32_t Y = B.isInt() ? B.toInt() : valueToInt32(B);
-      uint32_t R = X >> (Y & 31);
-      Stack[Sp - 1] = R <= (uint32_t)INT32_MAX
-                          ? Value::makeInt((int32_t)R)
-                          : C.TheHeap.boxDouble((double)R);
-      ++Pc;
-      break;
-    }
-    case Op::BitNot: {
-      Value A = Stack[Sp - 1];
-      int32_t X = A.isInt() ? A.toInt() : valueToInt32(A);
-      Stack[Sp - 1] = Value::makeInt(~X);
-      ++Pc;
-      break;
-    }
-
-    case Op::Lt:
-    case Op::Le:
-    case Op::Gt:
-    case Op::Ge: {
-      Value B = Stack[Sp - 1];
-      Value A = Stack[Sp - 2];
-      --Sp;
-      bool R;
-      if (A.isInt() && B.isInt()) {
-        int32_t X = A.toInt(), Y = B.toInt();
-        R = O == Op::Lt   ? X < Y
-            : O == Op::Le ? X <= Y
-            : O == Op::Gt ? X > Y
-                          : X >= Y;
-      } else {
-        int Cv = compareValues(A, B);
-        if (Cv == 2)
-          R = false;
-        else
-          R = O == Op::Lt   ? Cv < 0
-              : O == Op::Le ? Cv <= 0
-              : O == Op::Gt ? Cv > 0
-                            : Cv >= 0;
-      }
-      Stack[Sp - 1] = Value::makeBoolean(R);
-      ++Pc;
-      break;
-    }
-    case Op::Eq:
-    case Op::Ne: {
-      Value B = Stack[Sp - 1];
-      Value A = Stack[Sp - 2];
-      --Sp;
-      bool R = looseEquals(A, B);
-      Stack[Sp - 1] = Value::makeBoolean(O == Op::Eq ? R : !R);
-      ++Pc;
-      break;
-    }
-    case Op::StrictEq:
-    case Op::StrictNe: {
-      Value B = Stack[Sp - 1];
-      Value A = Stack[Sp - 2];
-      --Sp;
-      bool R = strictEquals(A, B);
-      Stack[Sp - 1] = Value::makeBoolean(O == Op::StrictEq ? R : !R);
-      ++Pc;
-      break;
-    }
-    case Op::LogicalNot:
-      Stack[Sp - 1] = Value::makeBoolean(!Stack[Sp - 1].truthy());
-      ++Pc;
-      break;
-
-    case Op::Jump:
-      Pc = Script->u32At(Pc + 1);
-      break;
-    case Op::JumpIfFalse: {
-      Value V = Stack[--Sp];
-      Pc = V.truthy() ? Pc + 5 : Script->u32At(Pc + 1);
-      break;
-    }
-    case Op::JumpIfTrue: {
-      Value V = Stack[--Sp];
-      Pc = V.truthy() ? Script->u32At(Pc + 1) : Pc + 5;
-      break;
-    }
-
-    case Op::Call: {
-      uint8_t ArgC = Script->Code[Pc + 1];
-      Value Callee = Stack[Sp - ArgC - 1];
-      if (!Callee.isObject() || !Callee.toObject()->isFunction()) {
-        rtError("calling a non-function");
-        break;
-      }
-      Object *FnObj = Callee.toObject();
-      if (FnObj->native()) {
-        Value R = callNative(FnObj, Value::undefined(), &Stack[Sp - ArgC],
-                             ArgC);
-        Sp -= ArgC + 1;
-        Stack[Sp++] = R;
-        Pc += 2;
-        break;
-      }
-      Pc += 2; // resume point after the call
-      if (!pushFrameForCall(FnObj, ArgC))
-        break;
-      break;
-    }
-
-    case Op::CallProp: {
-      String *Name = Script->Atoms[Script->u16At(Pc + 1)];
-      uint8_t ArgC = Script->Code[Pc + 3];
-      Value Recv = Stack[Sp - ArgC - 1];
-      // Scripted method on an object property: rewrite into a normal call.
-      if (Recv.isObject() && !Recv.toObject()->isArray()) {
-        Value M = Recv.toObject()->getProperty(Name);
-        if (M.isObject() && M.toObject()->isFunction()) {
-          Object *FnObj = M.toObject();
-          if (FnObj->native()) {
-            Value R = callNative(FnObj, Recv, &Stack[Sp - ArgC], ArgC);
-            Sp -= ArgC + 1;
-            Stack[Sp++] = R;
-            Pc += 4;
-            break;
-          }
-          Stack[Sp - ArgC - 1] = M;
-          Pc += 4;
-          if (!pushFrameForCall(FnObj, ArgC))
-            break;
-          break;
-        }
-      }
-      Value R = callPropValue(Recv, Name, &Stack[Sp - ArgC], ArgC);
-      Sp -= ArgC + 1;
-      Stack[Sp++] = R;
-      Pc += 4;
-      break;
-    }
-
-    case Op::Return:
-    case Op::ReturnUndefined: {
-      Value R = O == Op::Return ? Stack[--Sp] : Value::undefined();
-      Frame Done = Frames.back();
-      Frames.pop_back();
-      if (Frames.size() == StopDepth) {
-        Sp = Done.Base;
-        if (Done.Base > 0)
-          --Sp; // drop the callee slot pushed by callValue
-        return R;
-      }
-      Sp = Done.Base - 1; // drop args, locals, and the callee slot
-      Stack[Sp++] = R;
-      Pc = Done.ReturnPc;
-      break;
-    }
-
-    case Op::NewArray: {
-      uint16_t N = Script->u16At(Pc + 1);
-      Object *A = Object::createArray(C.TheHeap, C.Shapes, N);
-      for (uint16_t I = 0; I < N; ++I)
-        A->setElement(C.TheHeap, I, Stack[Sp - N + I]);
-      Sp -= N;
-      Stack[Sp++] = Value::makeObject(A);
-      C.maybeScheduleGC();
-      Pc += 3;
-      break;
-    }
-    case Op::NewObject: {
-      Object *Obj = Object::create(C.TheHeap, C.Shapes);
-      Stack[Sp++] = Value::makeObject(Obj);
-      C.maybeScheduleGC();
-      ++Pc;
-      break;
-    }
-
+#define TJ_OP(name) case Op::name: {
+#define TJ_NEXT() } break;
+#include "interp/dispatch.inc"
+#undef TJ_OP
+#undef TJ_NEXT
     case Op::NumOps:
       rtError("corrupt bytecode");
       break;
     }
   }
 }
+
+#if defined(TRACEJIT_COMPUTED_GOTO)
+Value Interpreter::dispatchThreaded(size_t StopDepth) {
+  VMContext &C = Ctx;
+  const bool Stats = C.Opts.CollectStats;
+  const bool IcOn = C.Opts.EnableIC;
+  Frame *F;
+  FunctionScript *Script;
+  Op O;
+
+  // One label per opcode, indexed by the opcode byte. A single shared
+  // prologue (error unwind + recording hook) keeps the op bodies identical
+  // to the switch harness; each body jumps back to TjDispatch.
+  static const void *const Table[] = {
+#define TJ_LABEL(name) &&L_##name,
+      TJ_FOR_EACH_OP(TJ_LABEL)
+#undef TJ_LABEL
+  };
+
+TjDispatch:
+  if (C.HasError) {
+    while (Frames.size() > StopDepth)
+      Frames.pop_back();
+    return Value::undefined();
+  }
+  F = &Frames.back();
+  Script = F->Script;
+  O = (Op)Script->Code[Pc];
+
+  if (C.Monitor && C.Monitor->recording() && O != Op::LoopHeader) {
+    C.Monitor->recordOp(*this, Pc);
+    if (Stats)
+      ++C.Stats.BytecodesRecorded;
+  } else if (Stats) {
+    ++C.Stats.BytecodesInterpreted;
+  }
+
+  if ((uint8_t)O >= (uint8_t)Op::NumOps)
+    goto L_Corrupt;
+  goto *Table[(uint8_t)O];
+
+#define TJ_OP(name) L_##name: {
+#define TJ_NEXT() } goto TjDispatch;
+#include "interp/dispatch.inc"
+#undef TJ_OP
+#undef TJ_NEXT
+
+L_Corrupt:
+  rtError("corrupt bytecode");
+  goto TjDispatch;
+}
+#endif // TRACEJIT_COMPUTED_GOTO
 
 } // namespace tracejit

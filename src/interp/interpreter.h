@@ -81,8 +81,35 @@ private:
   /// The dispatch loop. Executes until the entry frame returns or an error
   /// is raised.
   Value dispatch();
-  /// Dispatch until the frame stack shrinks back to \p StopDepth.
+  /// Dispatch until the frame stack shrinks back to \p StopDepth. Picks the
+  /// threaded (computed-goto) harness when the build supports it and
+  /// EngineOptions::ThreadedDispatch is set; both harnesses stamp out the
+  /// same op bodies from interp/dispatch.inc.
   Value dispatchUntil(size_t StopDepth);
+  Value dispatchSwitch(size_t StopDepth);
+#if defined(TRACEJIT_COMPUTED_GOTO)
+  Value dispatchThreaded(size_t StopDepth);
+#endif
+
+  // Op bodies the seed interpreter shared between several case labels,
+  // factored out so each opcode keeps its own dispatch label (dispatch.inc).
+  void execBitop(Op O);
+  void execCompare(Op O);
+  void execEquality(bool Negate);
+  void execStrictEquality(bool Negate);
+  /// Pop the returning frame; true means dispatchUntil should return \p R.
+  bool popReturnFrame(size_t StopDepth, Value R);
+
+  // Property inline caches (vm/ic.h). icGetProp/icSetProp are the probe
+  // fast paths; the fill helpers run after a generic-path miss succeeded.
+  bool icGetProp(PropertyIC &IC, const Value &B, Value &Out);
+  void icFillGetProp(PropertyIC &IC, const Value &B, String *Name,
+                     FunctionScript *Script, uint32_t Pc);
+  bool icSetProp(PropertyIC &IC, Object *O, Value V);
+  void icFillSetProp(PropertyIC &IC, Object *O, Shape *OldShape, String *Name,
+                     FunctionScript *Script, uint32_t Pc);
+  void icInsert(PropertyIC &IC, const ICEntry &E, FunctionScript *Script,
+                uint32_t Pc);
 
   bool pushFrameForCall(Object *Callee, uint32_t ArgC);
   Value callNative(Object *Callee, Value ThisV, const Value *Args, uint32_t N);

@@ -39,6 +39,17 @@ public:
   /// Interpreter state is synced; the hook must not mutate it.
   virtual void recordOp(Interpreter &I, uint32_t Pc) = 0;
 
+  /// A property IC left the monomorphic state: the site at (ScriptId, Pc)
+  /// went polymorphic, or megamorphic when \p Megamorphic. Speculation
+  /// feedback for the oracle, like double-demotion failures (§5): the
+  /// recorder emits multi-shape guards at poly sites and refuses to record
+  /// through mega sites.
+  virtual void notePropSite(uint32_t ScriptId, uint32_t Pc, bool Megamorphic) {
+    (void)ScriptId;
+    (void)Pc;
+    (void)Megamorphic;
+  }
+
   /// Called when the dispatch loop is about to return from the outermost
   /// frame or an error unwinds; any active recording must be aborted.
   virtual void flushRecorder() = 0;

@@ -142,6 +142,26 @@ struct VMContext {
     }
   }
 
+  /// Reset every property inline cache in every script (vm/ic.h). Part of
+  /// the whole-cache-flush contract: a flush drops all speculation state at
+  /// once, and ICs are speculation state just like compiled fragments.
+  void invalidateAllICs() {
+    uint64_t Cleared = 0;
+    for (auto &S : Scripts)
+      for (PropertyIC &IC : S->ICs)
+        if (IC.State != ICState::Uninit) {
+          IC.reset();
+          ++Cleared;
+        }
+    Stats.IcInvalidations += Cleared;
+    if (EventListener) {
+      JitEvent E;
+      E.Kind = JitEventKind::IcInvalidateAll;
+      E.Arg0 = Cleared;
+      emitEvent(E);
+    }
+  }
+
   /// Request a GC at the next safe point by raising the preempt flag.
   void maybeScheduleGC() {
     if (TheHeap.wantsGC())

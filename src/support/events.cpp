@@ -7,6 +7,7 @@
 
 #include "api/options.h"
 #include "jit/fragment.h"
+#include "vm/ic.h"
 
 namespace tracejit {
 
@@ -36,6 +37,8 @@ const char *abortReasonName(AbortReason R) {
     return "elem-on-non-array";
   case AbortReason::InitPropOnNonObject:
     return "initprop-on-non-object";
+  case AbortReason::MegamorphicSite:
+    return "megamorphic-site";
   case AbortReason::RecursiveCall:
     return "recursive-call";
   case AbortReason::InlineDepthLimit:
@@ -162,6 +165,10 @@ const char *jitEventKindName(JitEventKind K) {
     return "JitDisabled";
   case JitEventKind::BackendFallback:
     return "BackendFallback";
+  case JitEventKind::IcTransition:
+    return "IcTransition";
+  case JitEventKind::IcInvalidateAll:
+    return "IcInvalidateAll";
   case JitEventKind::NumKinds:
     break;
   }
@@ -252,6 +259,15 @@ std::string LogJitEventListener::format(const JitEvent &E) {
     break;
   case JitEventKind::BackendFallback:
     Out += " backend=executor";
+    break;
+  case JitEventKind::IcTransition:
+    snprintf(Buf, sizeof(Buf), " state=%s entries=%" PRIu64,
+             icStateName((ICState)E.Arg0), E.Arg1);
+    Out += Buf;
+    break;
+  case JitEventKind::IcInvalidateAll:
+    snprintf(Buf, sizeof(Buf), " cleared=%" PRIu64, E.Arg0);
+    Out += Buf;
     break;
   default:
     break;
@@ -364,6 +380,13 @@ std::string ChromeTraceCollector::renderJson() const {
       break;
     case JitEventKind::JitDisabled:
       Args += numArg("flushes", E.Arg0, Args.empty());
+      break;
+    case JitEventKind::IcTransition:
+      Args += strArg("state", icStateName((ICState)E.Arg0), Args.empty());
+      Args += numArg("entries", E.Arg1);
+      break;
+    case JitEventKind::IcInvalidateAll:
+      Args += numArg("cleared", E.Arg0, Args.empty());
       break;
     default:
       break;

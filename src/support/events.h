@@ -50,6 +50,8 @@ enum class AbortReason : uint8_t {
   UnknownStringProp,  ///< Unsupported property of a string.
   ElemOnNonArray,     ///< Element read/store on a non-array object.
   InitPropOnNonObject,
+  MegamorphicSite,    ///< Property site's IC went megamorphic; a shape
+                      ///< guard here would fail on most iterations.
 
   // --- Recorder: call failures ----------------------------------------------
   RecursiveCall,        ///< Callee already on the virtual frame chain.
@@ -134,6 +136,10 @@ enum class JitEventKind : uint8_t {
                     ///< count that tripped it.
   BackendFallback,  ///< Native backend unavailable at startup (mmap denied
                     ///< or injected); the LIR executor serves instead.
+  IcTransition,     ///< A property IC changed state (vm/ic.h ladder).
+                    ///< Arg0 = new ICState raw value, Arg1 = entry count.
+  IcInvalidateAll,  ///< Every property IC was reset (cache flush).
+                    ///< Arg0 = ICs that were non-empty.
   NumKinds
 };
 

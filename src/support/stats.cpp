@@ -51,6 +51,17 @@ std::string VMStats::report() const {
            (unsigned long long)TreeCalls, (unsigned long long)UnstableLinks,
            (unsigned long long)LoopsBlacklisted);
   Out += Buf;
+  if (IcHits || IcMisses || IcInvalidations || IcMegamorphicSites ||
+      IcRecorderHits) {
+    snprintf(Buf, sizeof(Buf),
+             "inline caches: hits=%llu misses=%llu invalidated=%llu "
+             "megamorphic-sites=%llu recorder-hits=%llu\n",
+             (unsigned long long)IcHits, (unsigned long long)IcMisses,
+             (unsigned long long)IcInvalidations,
+             (unsigned long long)IcMegamorphicSites,
+             (unsigned long long)IcRecorderHits);
+    Out += Buf;
+  }
   if (CacheFlushes || FragmentsRetired || BackendFallbacks || ProtectFaults ||
       JitDisables) {
     snprintf(Buf, sizeof(Buf),

@@ -61,6 +61,13 @@ struct VMStats {
   uint64_t OracleDemotions = 0;
   uint64_t GCs = 0;
 
+  // --- Property inline caches (vm/ic.h) -------------------------------------
+  uint64_t IcHits = 0;             ///< Fast-path hits (CollectStats builds).
+  uint64_t IcMisses = 0;           ///< Generic-path falls (CollectStats).
+  uint64_t IcInvalidations = 0;    ///< ICs reset by invalidateAllICs().
+  uint64_t IcMegamorphicSites = 0; ///< Sites that overflowed to Mega.
+  uint64_t IcRecorderHits = 0;     ///< Recorder guards taken from IC state.
+
   // --- Code-cache lifecycle counters ----------------------------------------
   uint64_t CacheFlushes = 0;        ///< Whole-cache flushes.
   uint64_t CacheBytesReclaimed = 0; ///< Native bytes returned by flushes.

@@ -680,6 +680,11 @@ void TraceMonitorImpl::flushCacheNow() {
   Fragments.clear();
   LirArena.reset(); // every LIR body died with its fragment
 
+  // Inline caches are speculation state too: the flush contract is "reset
+  // everything at once". (Oracle poly/mega-site knowledge survives, like
+  // demotion facts.)
+  Ctx.invalidateAllICs();
+
   ++CacheGeneration;
   ++FlushesThisEval;
   ++Ctx.Stats.CacheFlushes;

@@ -50,6 +50,13 @@ public:
   uint32_t onLoopEdge(Interpreter &I, uint32_t Pc, uint16_t LoopId) override;
   bool recording() const override { return Recorder != nullptr; }
   void recordOp(Interpreter &I, uint32_t Pc) override;
+  void notePropSite(uint32_t ScriptId, uint32_t Pc, bool Megamorphic) override {
+    uint64_t Key = Oracle::propSiteKey(ScriptId, Pc);
+    if (Megamorphic)
+      TheOracle.markMegamorphicSite(Key);
+    else
+      TheOracle.markPolymorphicSite(Key);
+  }
   void flushRecorder() override;
   void syncStats() override;
   void collectFragmentProfiles(std::vector<FragmentProfile> &Out) const override;

@@ -34,11 +34,37 @@ public:
   /// Should entry-type-map construction demote this variable to double?
   bool isDemoted(uint64_t Key) const { return Demoted.count(Key) != 0; }
 
+  // --- Property-site polymorphism (vm/ic.h feedback) -------------------------
+  //
+  // The interpreter's inline caches report sites that left the monomorphic
+  // state. Like demotion facts, these survive code-cache flushes (the ICs
+  // themselves are reset): re-recording a trace through a known-megamorphic
+  // site would just re-learn the same failure.
+
+  static uint64_t propSiteKey(uint32_t ScriptId, uint32_t Pc) {
+    return ((uint64_t)ScriptId << 32) | Pc;
+  }
+
+  void markPolymorphicSite(uint64_t Key) { PolySites.insert(Key); }
+  void markMegamorphicSite(uint64_t Key) { MegaSites.insert(Key); }
+  bool isPolymorphicSite(uint64_t Key) const {
+    return PolySites.count(Key) != 0;
+  }
+  bool isMegamorphicSite(uint64_t Key) const {
+    return MegaSites.count(Key) != 0;
+  }
+
   size_t size() const { return Demoted.size(); }
-  void clear() { Demoted.clear(); }
+  void clear() {
+    Demoted.clear();
+    PolySites.clear();
+    MegaSites.clear();
+  }
 
 private:
   std::unordered_set<uint64_t> Demoted;
+  std::unordered_set<uint64_t> PolySites;
+  std::unordered_set<uint64_t> MegaSites;
 };
 
 } // namespace tracejit

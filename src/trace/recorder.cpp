@@ -319,6 +319,52 @@ void TraceRecorder::guardIsArray(LIns *Obj, uint32_t Pc) {
               W->ins2(LOp::EqI, K, immI((int32_t)ObjectKind::Array)), E);
 }
 
+void TraceRecorder::guardShapeMulti(LIns *Obj, Shape *const *Shapes, size_t N,
+                                    uint32_t Pc) {
+  if (N == 1) {
+    guardShape(Obj, Shapes[0], Pc);
+    return;
+  }
+  ExitDescriptor *E = snapshot(ExitKind::Type, Pc);
+  LIns *Ld = W->insLoad(LOp::LdQ, Obj, Object::shapeOffset());
+  LIns *Match = W->ins2(LOp::EqQ, Ld, immQ((int64_t)(intptr_t)Shapes[0]));
+  for (size_t I = 1; I < N; ++I)
+    Match = W->ins2(LOp::OrI, Match,
+                    W->ins2(LOp::EqQ, Ld, immQ((int64_t)(intptr_t)Shapes[I])));
+  W->insGuard(LOp::GuardT, Match, E);
+}
+
+bool TraceRecorder::icSiteMegamorphic(const PropertyIC &IC, uint32_t Pc) const {
+  return IC.State == ICState::Mega ||
+         Monitor.oracle().isMegamorphicSite(
+             Oracle::propSiteKey(script()->Id, Pc));
+}
+
+void TraceRecorder::icShapeGuard(const PropertyIC *IC, Object *RO, LIns *Obj,
+                                 uint32_t Slot, uint32_t Pc) {
+  if (IC && (IC->State == ICState::Mono || IC->State == ICState::Poly)) {
+    Shape *Shapes[PropertyIC::MaxEntries];
+    size_t N = 0;
+    bool LiveCached = false;
+    uint8_t K = (uint8_t)RO->kind();
+    for (uint8_t I = 0; I < IC->N; ++I) {
+      const ICEntry &E = IC->Entries[I];
+      // Only same-kind entries that resolve the name to the same slot can
+      // share this trace's slot load.
+      if (E.Kind != ICEntryKind::Slot || E.KindGuard != K || E.Slot != Slot)
+        continue;
+      Shapes[N++] = E.ShapePtr;
+      LiveCached |= E.ShapePtr == RO->shape();
+    }
+    if (LiveCached) {
+      ++Ctx.Stats.IcRecorderHits;
+      guardShapeMulti(Obj, Shapes, N, Pc);
+      return;
+    }
+  }
+  guardShape(Obj, RO->shape(), Pc);
+}
+
 // --- Arithmetic / comparison / bit ops ------------------------------------------------------
 
 void TraceRecorder::recordArith(Op O, uint32_t Pc) {
@@ -614,6 +660,13 @@ void TraceRecorder::recordBranch(Op O, uint32_t Pc) {
 
 void TraceRecorder::recordGetProp(uint32_t Pc) {
   String *Name = script()->Atoms[script()->u16At(Pc + 1)];
+  const PropertyIC *IC =
+      Ctx.Opts.EnableIC ? &script()->ICs[script()->u16At(Pc + 3)] : nullptr;
+  if (IC && icSiteMegamorphic(*IC, Pc)) {
+    // A shape guard here would fail on most iterations; don't record one.
+    abort(AbortReason::MegamorphicSite);
+    return;
+  }
   Tracked Recv = top();
   Value RecvV = peekStack(0);
 
@@ -644,12 +697,13 @@ void TraceRecorder::recordGetProp(uint32_t Pc) {
   // "The recorder can generate LIR that reads o.x with just two or three
   // loads" (§3.1): guard the shape, then load the slot directly.
   int Slot = RO->slotOf(Name);
-  guardShape(Recv.Ins, RO->shape(), Pc);
   if (Slot < 0) {
+    guardShape(Recv.Ins, RO->shape(), Pc);
     --VSp;
     push(nullptr, TraceType::Undefined);
     return;
   }
+  icShapeGuard(IC, RO, Recv.Ins, (uint32_t)Slot, Pc);
   LIns *Slots = W->insLoad(LOp::LdQ, Recv.Ins, Object::namedSlotsOffset());
   LIns *Word = W->insLoad(LOp::LdQ, Slots, Slot * 8);
   TraceType RTy = traceTypeOf(RO->slotValue((uint32_t)Slot));
@@ -660,6 +714,12 @@ void TraceRecorder::recordGetProp(uint32_t Pc) {
 
 void TraceRecorder::recordSetProp(uint32_t Pc) {
   String *Name = script()->Atoms[script()->u16At(Pc + 1)];
+  const PropertyIC *IC =
+      Ctx.Opts.EnableIC ? &script()->ICs[script()->u16At(Pc + 3)] : nullptr;
+  if (IC && icSiteMegamorphic(*IC, Pc)) {
+    abort(AbortReason::MegamorphicSite);
+    return;
+  }
   Tracked Val = top(0);
   Tracked Recv = top(1);
   Value RecvV = peekStack(1);
@@ -675,7 +735,7 @@ void TraceRecorder::recordSetProp(uint32_t Pc) {
     abort(AbortReason::PropAddsSlot);
     return;
   }
-  guardShape(Recv.Ins, RO->shape(), Pc);
+  icShapeGuard(IC, RO, Recv.Ins, (uint32_t)Slot, Pc);
   LIns *Slots = W->insLoad(LOp::LdQ, Recv.Ins, Object::namedSlotsOffset());
   LIns *Boxed = boxValue(Val.Ins, Val.Ty);
   W->insStore(LOp::StQ, Boxed, Slots, Slot * 8);

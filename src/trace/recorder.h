@@ -159,6 +159,21 @@ private:
   /// Guard that object \p Obj (unboxed ptr) has shape \p S.
   void guardShape(LIns *Obj, class Shape *S, uint32_t Pc);
   void guardIsArray(LIns *Obj, uint32_t Pc);
+  /// Guard that \p Obj's shape is one of \p Shapes[0..N): one shape load,
+  /// per-shape EqQ compares OR-ed into a single GuardT. N == 1 degenerates
+  /// to guardShape.
+  void guardShapeMulti(LIns *Obj, class Shape *const *Shapes, size_t N,
+                       uint32_t Pc);
+  /// Shape guard for a named-slot property site, preferring IC knowledge:
+  /// a mono site replays the interpreter-proven (shape, slot) pair; a poly
+  /// site whose entries agree on \p Slot gets one multi-shape guard so a
+  /// single trace serves every cached shape. Falls back to a plain
+  /// guardShape on the live shape.
+  void icShapeGuard(const PropertyIC *IC, Object *RO, LIns *Obj, uint32_t Slot,
+                    uint32_t Pc);
+  /// True when the IC or the oracle says this property site is megamorphic
+  /// (the oracle remembers across IC invalidation).
+  bool icSiteMegamorphic(const PropertyIC &IC, uint32_t Pc) const;
 
   // --- Bytecode recording ------------------------------------------------------------
   void recordArith(Op O, uint32_t Pc);

@@ -76,6 +76,12 @@ void Object::setProperty(ShapeTree &Shapes, String *Name, Value V) {
   NamedSlots[Slot] = V;
 }
 
+void Object::applyTransition(Shape *To, uint32_t Slot, Value V) {
+  growNamedSlots(To->slotCount());
+  TheShape = To;
+  NamedSlots[Slot] = V;
+}
+
 void Object::setElement(Heap &H, uint32_t I, Value V) {
   (void)H;
   if (I >= ElemCapacity) {

@@ -77,6 +77,17 @@ public:
   Value slotValue(uint32_t Slot) const { return NamedSlots[Slot]; }
   const Value *namedSlotsData() const { return NamedSlots; }
 
+  /// Overwrite an existing slot. IC fast path for a SetProp whose cached
+  /// shape matched: the slot is known in-bounds because the shape owns it.
+  void setSlotValue(uint32_t Slot, Value V) { NamedSlots[Slot] = V; }
+
+  /// Apply a memoized shape transition: grow storage to \p To's slot count,
+  /// install \p To, write the new property's value into \p Slot. Valid only
+  /// when \p To == ShapeTree::transition(shape(), Name) and
+  /// \p Slot == shape()->slotCount() -- which the SetProp IC guarantees by
+  /// caching (From, To, Slot) triples observed from the generic path.
+  void applyTransition(Shape *To, uint32_t Slot, Value V);
+
   // --- Dense array elements --------------------------------------------------
 
   uint32_t arrayLength() const { return ArrayLen; }

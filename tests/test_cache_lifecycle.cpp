@@ -55,7 +55,7 @@ double interpretedResult(const std::string &Src) {
   O.EnableJit = false;
   Engine E(O);
   auto R = E.eval(Src);
-  EXPECT_TRUE(R.ok()) << R.Error;
+  EXPECT_TRUE(R.ok()) << R.Err.describe();
   return R.LastValue.numberValue();
 }
 
@@ -167,7 +167,7 @@ TEST(CacheLifecycle, TinyCacheFlushesAndMatchesInterpreter) {
   E.addEventListener(&L);
 
   auto R = E.eval(Src);
-  ASSERT_TRUE(R.ok()) << R.Error;
+  ASSERT_TRUE(R.ok()) << R.Err.describe();
   EXPECT_EQ(R.LastValue.numberValue(), Want)
       << "flush-churned JIT run diverged from the interpreter";
 
@@ -274,7 +274,7 @@ TEST(FaultInjection, ExecMapFailFallsBackToExecutor) {
   Engine E(O);
 
   auto R = E.eval(Src);
-  ASSERT_TRUE(R.ok()) << R.Error;
+  ASSERT_TRUE(R.ok()) << R.Err.describe();
   EXPECT_EQ(R.LastValue.numberValue(), Want);
 
   VMStats S = E.stats();
@@ -323,7 +323,7 @@ TEST(FaultInjection, AllocFailFlushesThenTripsKillSwitch) {
   E.addEventListener(&L);
 
   auto R = E.eval(Src);
-  ASSERT_TRUE(R.ok()) << R.Error;
+  ASSERT_TRUE(R.ok()) << R.Err.describe();
   EXPECT_EQ(R.LastValue.numberValue(), Want);
 
   VMStats S = E.stats();
@@ -356,7 +356,7 @@ TEST(FaultInjection, ProtectFailFallsBackToExecutorPerRun) {
   Engine E(O);
 
   auto R = E.eval(Src);
-  ASSERT_TRUE(R.ok()) << R.Error;
+  ASSERT_TRUE(R.ok()) << R.Err.describe();
   EXPECT_EQ(R.LastValue.numberValue(), Want);
 
   VMStats S = E.stats();
@@ -378,7 +378,7 @@ TEST(FaultInjection, CompileFailAbortsIntoBlacklistBackoff) {
   E.addEventListener(&L);
 
   auto R = E.eval(Src);
-  ASSERT_TRUE(R.ok()) << R.Error;
+  ASSERT_TRUE(R.ok()) << R.Err.describe();
   EXPECT_EQ(R.LastValue.numberValue(), Want);
 
   VMStats S = E.stats();
