@@ -16,17 +16,31 @@
 //===----------------------------------------------------------------------===//
 
 #include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
 
 #include "suite.h"
 
 using namespace tracejit_bench;
 
-int main() {
+int main(int argc, char **argv) {
+  // Optional canonical snapshot (the perf-trajectory record): --json=FILE.
+  std::string JsonPath;
+  for (int I = 1; I < argc; ++I)
+    if (!strncmp(argv[I], "--json=", 7))
+      JsonPath = argv[I] + 7;
+
   printf("=== Figure 10: speedup of tracing JIT over the baseline "
          "interpreter ===\n");
   printf("%-26s %12s %12s %9s  %s\n", "benchmark", "interp(ms)", "tracing(ms)",
          "speedup", "paper-expectation");
 
+  struct Row {
+    const char *Name;
+    double InterpMs, TracingMs, Speedup;
+  };
+  std::vector<Row> Rows;
   double GeoProd = 1.0;
   int GeoN = 0;
   bool AllOk = true;
@@ -42,16 +56,36 @@ int main() {
     double Speedup = I.MeanMs / T.MeanMs;
     GeoProd *= Speedup;
     ++GeoN;
+    Rows.push_back({P.Name, I.MeanMs, T.MeanMs, Speedup});
     printf("%-26s %12.2f %12.2f %8.2fx  %s\n", P.Name, I.MeanMs, T.MeanMs,
            Speedup, P.ExpectTraced ? "traced" : "untraced (recursion)");
   }
+  double Geo = 0;
   if (GeoN) {
-    double Geo = 1.0;
     // nth root via exp/log.
     Geo = __builtin_exp(__builtin_log(GeoProd) / GeoN);
     printf("\ngeometric-mean speedup over %d benchmarks: %.2fx\n", GeoN, Geo);
   }
   printf("\npaper shape check: integer-heavy kernels should lead; "
          "2x-20x typical; untraced ~1x.\n");
+
+  if (!JsonPath.empty()) {
+    FILE *F = fopen(JsonPath.c_str(), "w");
+    if (!F) {
+      fprintf(stderr, "cannot write %s\n", JsonPath.c_str());
+      return 1;
+    }
+    fprintf(F, "{\n  \"bench\": \"suite_speedup\",\n");
+    fprintf(F, "  \"geomean_speedup\": %.3f,\n  \"benchmarks\": [\n", Geo);
+    for (size_t I = 0; I < Rows.size(); ++I)
+      fprintf(F,
+              "    {\"name\": \"%s\", \"interp_ms\": %.2f, \"tracing_ms\": "
+              "%.2f, \"speedup\": %.2f}%s\n",
+              Rows[I].Name, Rows[I].InterpMs, Rows[I].TracingMs,
+              Rows[I].Speedup, I + 1 < Rows.size() ? "," : "");
+    fprintf(F, "  ]\n}\n");
+    fclose(F);
+    printf("wrote %s\n", JsonPath.c_str());
+  }
   return AllOk ? 0 : 1;
 }

@@ -148,4 +148,18 @@ size_t Engine::codeCacheCapacity() const {
   return Monitor ? Monitor->codeCacheCapacity() : 0;
 }
 
+uint32_t Engine::pendingCompileJobs() const {
+  return Monitor ? Monitor->pendingCompileJobs() : 0;
+}
+
+void Engine::pumpCompileQueue() {
+  if (Monitor)
+    Monitor->pumpCompileQueue();
+}
+
+void Engine::waitForCompileQueue() {
+  if (Monitor)
+    Monitor->waitCompileQueueIdle();
+}
+
 } // namespace tracejit

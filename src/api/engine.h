@@ -113,6 +113,22 @@ public:
   size_t codeCacheUsed() const;
   size_t codeCacheCapacity() const;
 
+  // --- Off-thread compilation (EngineOptions::OffThreadCompile) ---------------
+
+  /// Compile jobs submitted to the background compiler but not yet
+  /// published or dropped (always 0 with off-thread compile off).
+  uint32_t pendingCompileJobs() const;
+
+  /// Publish/drop any compile jobs the background compiler has finished.
+  /// Loop edges do this automatically; hosts serving many short scripts
+  /// call it between requests so results land promptly.
+  void pumpCompileQueue();
+
+  /// Block until the background compiler has drained every submitted job,
+  /// then publish the results. Deterministic settling point for tests,
+  /// benchmarks, and graceful shutdown.
+  void waitForCompileQueue();
+
   /// Internal access for tests and benchmarks.
   VMContext &context() { return Ctx; }
   Interpreter &interpreter() { return *Interp; }

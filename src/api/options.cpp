@@ -36,7 +36,25 @@ constexpr BoolFlag BoolFlags[] = {
     {"--no-blacklisting", &EngineOptions::EnableBlacklisting, false},
     {"--oracle", &EngineOptions::EnableOracle, true},
     {"--no-oracle", &EngineOptions::EnableOracle, false},
+    {"--off-thread-compile", &EngineOptions::OffThreadCompile, true},
+    {"--no-off-thread-compile", &EngineOptions::OffThreadCompile, false},
 };
+
+/// Parse the value of a "--flag=N" style option; false on bad digits.
+bool parseU32(std::string_view Text, uint32_t &Out) {
+  if (Text.empty())
+    return false;
+  uint64_t V = 0;
+  for (char C : Text) {
+    if (C < '0' || C > '9')
+      return false;
+    V = V * 10 + (uint64_t)(C - '0');
+    if (V > 0xFFFFFFFFull)
+      return false;
+  }
+  Out = (uint32_t)V;
+  return true;
+}
 
 } // namespace
 
@@ -54,6 +72,14 @@ bool EngineOptions::applyFlag(std::string_view Flag) {
   }
   if (Flag == "--executor") {
     JitBackend = Backend::Executor;
+    return true;
+  }
+  constexpr std::string_view DepthPrefix = "--compile-queue-depth=";
+  if (Flag.substr(0, DepthPrefix.size()) == DepthPrefix) {
+    uint32_t Depth = 0;
+    if (!parseU32(Flag.substr(DepthPrefix.size()), Depth) || Depth == 0)
+      return false;
+    CompileQueueDepth = Depth;
     return true;
   }
   return false;

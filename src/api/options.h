@@ -16,6 +16,8 @@
 
 namespace tracejit {
 
+class CompileService;
+
 /// Which backend compiles/executes LIR fragments.
 enum class Backend : uint8_t {
   Native,   ///< x86-64 machine code (the nanojit analog).
@@ -161,6 +163,28 @@ struct EngineOptions {
   /// FaultSite. Tests use this to force every failure path (map, alloc,
   /// protect, compile) without real memory pressure.
   FaultHook FaultInjector;
+
+  // --- Off-thread compilation (jit/compile_queue.h) ---------------------------
+
+  /// Compile completed traces on a background thread instead of inline at
+  /// the loop edge. The interpreter keeps running unjitted until the
+  /// fragment is published back at a later loop edge; stale results
+  /// (flush, shutdown) are dropped by cache generation. Off (the default)
+  /// is bit-for-bit the paper's single-threaded pipeline. Native backend
+  /// only; the executor backend ignores this.
+  bool OffThreadCompile = false;
+
+  /// Bound on unfinished compile jobs one engine may have in flight
+  /// (queued + compiling). At the bound, finished recordings are dropped
+  /// with the usual abort backoff (AbortReason::CompileQueueFull) rather
+  /// than queued -- backpressure, not an unbounded buffer.
+  uint32_t CompileQueueDepth = 8;
+
+  /// Share an external compiler thread instead of spawning one per engine
+  /// (the serving harness runs N contexts against one CompileService).
+  /// Borrowed; must outlive the engine. Null + OffThreadCompile = the
+  /// engine owns a private service.
+  CompileService *SharedCompileService = nullptr;
 
   // --- Interpreter hot path ---------------------------------------------------
 

@@ -87,6 +87,21 @@ public:
   /// Executable-pool occupancy (0 for the executor backend).
   virtual size_t codeCacheUsed() const { return 0; }
   virtual size_t codeCacheCapacity() const { return 0; }
+
+  // --- Off-thread compilation (jit/compile_queue.h) --------------------------
+
+  /// Compile jobs submitted but not yet published or dropped (0 when
+  /// OffThreadCompile is off).
+  virtual uint32_t pendingCompileJobs() const { return 0; }
+
+  /// Publish/drop any finished compile jobs now (normally done at loop
+  /// edges; tests and the serving harness call this at request boundaries).
+  virtual void pumpCompileQueue() {}
+
+  /// Block until the background compiler has finished every submitted job,
+  /// then publish/drop the results. Deterministic drains for tests,
+  /// benchmarks, and engine teardown.
+  virtual void waitCompileQueueIdle() {}
 };
 
 } // namespace tracejit

@@ -10,6 +10,7 @@
 #ifndef TRACEJIT_INTERP_VMCONTEXT_H
 #define TRACEJIT_INTERP_VMCONTEXT_H
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -101,8 +102,10 @@ struct VMContext {
 
   /// The preempt flag: set by GC pressure (or tests); every compiled loop
   /// edge guards on it being zero (§6.4). Must have a stable address that
-  /// generated code can embed.
-  volatile uint32_t PreemptFlag = 0;
+  /// generated code can embed; std::atomic<uint32_t> is layout-compatible
+  /// with the plain 4-byte load traces compile in, and makes cross-thread
+  /// raises (a future external interruptor; TSan today) well-defined.
+  std::atomic<uint32_t> PreemptFlag{0};
 
   /// Set while a compiled trace is running; external functions that reenter
   /// the interpreter check it (§6.5). Also used as the "no GC on trace"

@@ -15,8 +15,9 @@ namespace tracejit {
 
 // --- Runtime stubs -------------------------------------------------------------
 
-NativeBackend::NativeBackend(size_t CacheBytes, const FaultHook *FI)
-    : Pool(CacheBytes, FI), Faults(FI) {
+NativeBackend::NativeBackend(size_t CacheBytes, const FaultHook *FI,
+                             bool DualMap)
+    : Pool(CacheBytes, FI, DualMap), Faults(FI) {
   if (!Pool.valid())
     return;
   emitRuntimeStubs();
@@ -58,7 +59,9 @@ void NativeBackend::emitRuntimeStubs() {
     return;
   }
   Pool.commit(A.size());
-  Trampoline = (EnterFn)Entry;
+  // The trampoline is called, so it must be an exec-view address (identity
+  // in single-map mode). Everything else in the pool stays write-view.
+  Trampoline = (EnterFn)Pool.execAddr(Entry);
 }
 
 void NativeBackend::patchExitTo(ExitDescriptor *E, Fragment *Target) {
@@ -707,7 +710,10 @@ void FragmentCompiler::emitCall(LIns *I) {
 void FragmentCompiler::emitTreeCall(LIns *I) {
   flushForCall();
   A.movRR64(RDI, RBX);
-  A.movRI64(RSI, (uint64_t)(uintptr_t)I->Target->NativeEntry);
+  // imm64 code addresses must point into the executable view; rel32 jumps
+  // within the pool are view-agnostic, absolute embeds are not.
+  A.movRI64(RSI,
+            (uint64_t)(uintptr_t)BE.pool().execAddr(I->Target->NativeEntry));
   A.movRI64(RAX, (uint64_t)(uintptr_t)BE.trampolineAddr());
   A.callReg(RAX);
   // Guard: did the inner tree return through the expected exit?

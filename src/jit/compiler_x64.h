@@ -49,9 +49,13 @@ enum class CompileResult : uint8_t {
 class NativeBackend {
 public:
   /// \p CacheBytes bounds all generated code; \p Faults (borrowed,
-  /// nullable) is the engine's deterministic fault injector.
+  /// nullable) is the engine's deterministic fault injector. \p DualMap
+  /// selects the write-view/exec-view code pool (execmem.h) so a
+  /// background compiler thread can emit while traces run; required for
+  /// OffThreadCompile, unnecessary (and unused) otherwise.
   explicit NativeBackend(size_t CacheBytes = 32 * 1024 * 1024,
-                         const FaultHook *Faults = nullptr);
+                         const FaultHook *Faults = nullptr,
+                         bool DualMap = false);
 
   /// False when executable memory is unavailable (hardened kernels or an
   /// injected ExecMapFail); the engine then falls back to the
@@ -69,9 +73,11 @@ public:
   bool ensureExecutable() { return Pool.makeExecutable(); }
 
   /// Run a compiled fragment on \p Tar; returns the taken exit. The pool
-  /// must be executable (ensureExecutable()).
+  /// must be executable (ensureExecutable()). NativeEntry is a write-view
+  /// address; this is one of the two places it is translated to the
+  /// executable view (the other is the nested-tree-call imm64 embed).
   ExitDescriptor *enter(void *Tar, Fragment *F) {
-    return Trampoline(Tar, F->NativeEntry);
+    return Trampoline(Tar, Pool.execAddr(F->NativeEntry));
   }
 
   /// Whole-cache flush: discard every fragment's code, keeping only the

@@ -19,6 +19,28 @@
 //    flip is lazy and idempotent -- one mprotect per phase change, a
 //    single branch when the pool is already in the right state.
 //
+// Two mapping modes:
+//
+//  * Single-map (default): one private anonymous mapping whose protection
+//    flips RW<->RX as above. Correct when one thread both emits and runs
+//    code (the inline-compile pipeline).
+//  * Dual-map (OffThreadCompile): the same physical pages mapped twice via
+//    a memfd -- a permanently-RW write view the compiler thread emits and
+//    patches through, and a permanently-RX exec view traces run from. W^X
+//    holds per view, and no mprotect ever races a running trace.
+//    execAddr() translates a write-view pointer to its exec-view twin
+//    (identity in single-map mode). All pointers stored in Fragment /
+//    ExitDescriptor / NativeBackend are write-view; translation happens
+//    only at the two places code is entered (the trampoline) or embedded
+//    as an absolute target in generated code (nested tree calls).
+//
+// Bump-allocator state (reserve/commit/rewind/reset/used) is guarded by a
+// mutex so the compiler thread can allocate while the owning thread reads
+// occupancy. The reserve->commit protocol still assumes a single compiling
+// thread at a time, which both pipelines guarantee (one inline compiler or
+// one background worker per backend; a whole-cache flush quiesces the
+// worker before reset()).
+//
 // Every OS-facing failure path (map, reservation, protect) can be forced
 // through the EngineOptions::FaultInjector hook for deterministic tests.
 //
@@ -29,6 +51,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <mutex>
 
 #include "api/options.h"
 
@@ -38,9 +61,13 @@ class ExecMemPool {
 public:
   /// Map \p Bytes (rounded up to a page) of RW memory. Check valid()
   /// before use. \p Faults, when non-null, points at the engine's fault
-  /// injector (borrowed; must outlive the pool).
+  /// injector (borrowed; must outlive the pool). \p DualMap selects the
+  /// write-view/exec-view double mapping (see file comment); when the OS
+  /// cannot provide it the pool is left invalid and the engine falls back
+  /// to the LIR executor, loudly.
   explicit ExecMemPool(size_t Bytes = 32 * 1024 * 1024,
-                       const FaultHook *Faults = nullptr);
+                       const FaultHook *Faults = nullptr,
+                       bool DualMap = false);
   ~ExecMemPool();
   ExecMemPool(const ExecMemPool &) = delete;
   ExecMemPool &operator=(const ExecMemPool &) = delete;
@@ -73,21 +100,35 @@ public:
   void setFloor() { Floor = Used; }
 
   /// Whole-cache flush: rewind the bump pointer to the floor and make the
-  /// pool writable again. Returns the number of bytes reclaimed.
+  /// pool writable again. Returns the number of bytes reclaimed. With a
+  /// background compiler, the owner must quiesce it first (no reservation
+  /// may be outstanding).
   size_t reset();
 
   /// Flip the mapping to RX (before running traces). Idempotent; returns
   /// false when mprotect fails or a ProtectFail fault is injected, in
   /// which case the mapping stays RW and nothing in it may be executed.
+  /// Dual-map mode: the exec view is always RX -- trivially true, and no
+  /// fault is injectable (there is no syscall to fail).
   bool makeExecutable();
 
   /// Flip the mapping to RW (before emitting or patching code).
   /// Idempotent; returns false on mprotect failure / injected fault.
+  /// Dual-map mode: the write view is always RW -- trivially true.
   bool makeWritable();
 
   bool executable() const { return Exec; }
+  bool dualMapped() const { return ExecView != nullptr; }
 
-  size_t used() const { return Used; }
+  /// Translate a write-view pointer into the executable view (identity in
+  /// single-map mode). Null passes through.
+  uint8_t *execAddr(uint8_t *W) const {
+    if (!W || !ExecView)
+      return W;
+    return ExecView + (W - Base);
+  }
+
+  size_t used() const;
   size_t capacity() const { return Cap; }
   size_t floorBytes() const { return Floor; }
 
@@ -96,14 +137,18 @@ private:
     return Faults && *Faults && (*Faults)(S);
   }
 
-  uint8_t *Base = nullptr;
+  uint8_t *Base = nullptr;     ///< Write view (the only view, single-map).
+  uint8_t *ExecView = nullptr; ///< RX twin of Base (dual-map mode only).
   size_t Cap = 0;
   size_t Used = 0;
   size_t Floor = 0;
   size_t ResvStart = 0;
   bool HasReservation = false;
-  bool Exec = false; ///< Current protection: true = RX, false = RW.
+  bool Exec = false; ///< Single-map protection: true = RX, false = RW.
   const FaultHook *Faults = nullptr;
+  /// Guards Used/ResvStart/HasReservation: the background compiler
+  /// allocates while the engine thread reads used().
+  mutable std::mutex Mu;
 };
 
 } // namespace tracejit

@@ -15,6 +15,7 @@
 #include <memory>
 #include <vector>
 
+#include "support/arena.h"
 #include "trace/typemap.h"
 
 namespace tracejit {
@@ -62,6 +63,9 @@ struct ExitDescriptor {
   bool RecordingBlocked = false; ///< Stop trying to extend here.
   Fragment *Target = nullptr;  ///< Stitched branch fragment, if any.
   uint8_t *PatchAddr = nullptr; ///< Native stub address for stitching.
+  /// A branch recording anchored at this exit is queued for off-thread
+  /// compilation; blocks duplicate recordings until the job publishes.
+  bool CompilePending = false;
 };
 
 /// What kind of trace a fragment holds.
@@ -101,6 +105,12 @@ public:
   /// Exits owned by this fragment (stable addresses).
   std::vector<std::unique_ptr<ExitDescriptor>> Exits;
 
+  /// Arena owning this fragment's LIR (instructions, operand lists, type
+  /// maps). Per-fragment rather than monitor-wide so a compile job is
+  /// self-contained: the LIR travels with the fragment to the compiler
+  /// thread and dies with the fragment, not with a global reset.
+  std::unique_ptr<Arena> LirArena;
+
   /// LIR body (arena-owned instructions; kept for the executor backend and
   /// for diagnostics).
   std::vector<LIns *> Body;
@@ -110,8 +120,14 @@ public:
   std::vector<Value> EmbeddedRoots;
 
   /// Native entry point (native backend) or nullptr (executor backend).
+  /// Write-view address; translate through ExecMemPool::execAddr() to run.
   uint8_t *NativeEntry = nullptr;
   uint32_t NativeSize = 0;
+
+  /// Owned by a compile job in flight on the compiler thread. The engine
+  /// thread must not read NativeEntry/NativeSize/PatchAddrs or profile
+  /// this fragment until publication clears the flag.
+  bool CompilePending = false;
 
   /// TAR slots this fragment may touch (monitor sizes the TAR buffer).
   uint32_t RequiredTarSlots = 0;

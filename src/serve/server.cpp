@@ -1,0 +1,140 @@
+//===- server.cpp - Multi-context script serving harness ----------------------===//
+
+#include "serve/server.h"
+
+#include <cassert>
+#include <chrono>
+
+#include "api/engine.h"
+#include "jit/compile_queue.h"
+
+namespace tracejit {
+namespace serve {
+
+static double msBetween(std::chrono::steady_clock::time_point A,
+                        std::chrono::steady_clock::time_point B) {
+  return std::chrono::duration<double, std::milli>(B - A).count();
+}
+
+ScriptServer::ScriptServer(const ServerConfig &C) : Cfg(C) {
+  if (Cfg.Workers == 0)
+    Cfg.Workers = 1;
+  if (Cfg.QueueDepth == 0)
+    Cfg.QueueDepth = 1;
+  WorkerStats.resize(Cfg.Workers);
+  if (Cfg.Engine.OffThreadCompile && !Cfg.Engine.SharedCompileService)
+    CompileSvc = std::make_unique<CompileService>();
+  Threads.reserve(Cfg.Workers);
+  for (uint32_t W = 0; W < Cfg.Workers; ++W)
+    Threads.emplace_back([this, W] { workerMain(W); });
+}
+
+ScriptServer::~ScriptServer() { stop(); }
+
+uint64_t ScriptServer::submit(std::string Source) {
+  uint64_t Id;
+  {
+    std::unique_lock<std::mutex> L(Mu);
+    assert(!Stopping && "submit after stop");
+    SubmitCv.wait(L, [this] { return Requests.size() < Cfg.QueueDepth; });
+    Id = NextId++;
+    Requests.push_back(
+        {Id, std::move(Source), std::chrono::steady_clock::now()});
+  }
+  WorkCv.notify_one();
+  return Id;
+}
+
+void ScriptServer::drain() {
+  std::unique_lock<std::mutex> L(Mu);
+  IdleCv.wait(L, [this] { return Requests.empty() && BusyWorkers == 0; });
+}
+
+void ScriptServer::stop() {
+  {
+    std::unique_lock<std::mutex> L(Mu);
+    if (Stopped)
+      return;
+    // Serve out the backlog first: stop() is a graceful shutdown.
+    IdleCv.wait(L, [this] { return Requests.empty() && BusyWorkers == 0; });
+    Stopping = true;
+  }
+  WorkCv.notify_all();
+  for (std::thread &T : Threads)
+    T.join();
+  Stopped = true;
+  // The shared compiler dies after every engine that could reference it
+  // (engines live on the worker threads just joined).
+  CompileSvc.reset();
+}
+
+std::vector<RequestResult> ScriptServer::takeResults() {
+  std::lock_guard<std::mutex> L(Mu);
+  std::vector<RequestResult> Out;
+  Out.swap(Results);
+  return Out;
+}
+
+void ScriptServer::workerMain(uint32_t Index) {
+  // The engine is born, used, and destroyed on this thread; nothing inside
+  // it is ever touched from another thread. The only shared machinery is
+  // the compile service, which has its own locking discipline.
+  EngineOptions EO = Cfg.Engine;
+  if (EO.OffThreadCompile && !EO.SharedCompileService)
+    EO.SharedCompileService = CompileSvc.get();
+  Engine E(EO);
+
+  std::string Captured;
+  E.setPrintHook([&Captured](const std::string &S) { Captured += S; });
+
+  for (;;) {
+    PendingRequest Req;
+    {
+      std::unique_lock<std::mutex> L(Mu);
+      WorkCv.wait(L, [this] { return Stopping || !Requests.empty(); });
+      if (Requests.empty())
+        break; // Stopping and no work left
+      Req = std::move(Requests.front());
+      Requests.pop_front();
+      ++BusyWorkers;
+    }
+    SubmitCv.notify_one(); // a queue slot freed up
+
+    RequestResult RR;
+    RR.Id = Req.Id;
+    RR.Worker = Index;
+    auto Start = std::chrono::steady_clock::now();
+    RR.QueueMs = msBetween(Req.Submitted, Start);
+    Captured.clear();
+    EvalResult ER = E.eval(Req.Source);
+    auto End = std::chrono::steady_clock::now();
+    RR.EvalMs = msBetween(Start, End);
+    RR.TotalMs = msBetween(Req.Submitted, End);
+    RR.Ok = ER.ok();
+    if (!RR.Ok)
+      RR.Error = ER.Err.describe();
+    RR.Output = Captured;
+    // Publish any finished compiles now so the next request on this
+    // context starts with the freshest trace cache.
+    E.pumpCompileQueue();
+
+    {
+      std::lock_guard<std::mutex> L(Mu);
+      Results.push_back(std::move(RR));
+      --BusyWorkers;
+    }
+    IdleCv.notify_all();
+  }
+
+  // Settle the compile pipeline before the stats snapshot so queued/
+  // published/dropped counters add up for the caller.
+  E.waitForCompileQueue();
+  VMStats Snapshot = E.stats();
+  {
+    std::lock_guard<std::mutex> L(Mu);
+    WorkerStats[Index] = Snapshot;
+  }
+}
+
+} // namespace serve
+} // namespace tracejit

@@ -1,0 +1,126 @@
+//===- server.h - Multi-context script serving harness -----------------------===//
+//
+// The ROADMAP north star is heavy multi-user traffic; the paper's engine is
+// one thread in one VMContext. This layer bridges the two: a ScriptServer
+// runs N isolated Engine contexts on a worker pool consuming a stream of
+// eval requests.
+//
+// Isolation and sharing (see DESIGN.md "Threading model"):
+//
+//  * Each worker thread owns one Engine outright -- heap, globals, trace
+//    cache, code pool (its own CodeCacheBytes quota), statistics. Engines
+//    are constructed and destroyed on their worker's thread and no engine
+//    state ever crosses threads; requests are distributed by whichever
+//    worker is free (there is no session affinity -- a request is one
+//    self-contained script).
+//  * With EngineOptions::OffThreadCompile set, all workers share ONE
+//    background compiler thread: the server owns a CompileService and
+//    wires it into every engine via SharedCompileService. N contexts get
+//    off-main-thread compilation for the price of one extra core.
+//
+// The request queue is bounded (ServerConfig::QueueDepth): submit() blocks
+// the producer when the pool is saturated, which is the backpressure a
+// real front door would apply.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef TRACEJIT_SERVE_SERVER_H
+#define TRACEJIT_SERVE_SERVER_H
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/options.h"
+#include "support/stats.h"
+
+namespace tracejit {
+
+class CompileService;
+
+namespace serve {
+
+struct ServerConfig {
+  uint32_t Workers = 1;     ///< Engine contexts (one per worker thread).
+  uint32_t QueueDepth = 1024; ///< Bound on requests waiting for a worker.
+  EngineOptions Engine;     ///< Options every context is created with.
+};
+
+/// Outcome of one served request.
+struct RequestResult {
+  uint64_t Id = 0;
+  uint32_t Worker = 0;   ///< Index of the context that served it.
+  bool Ok = false;
+  double QueueMs = 0;    ///< submit() -> worker pickup.
+  double EvalMs = 0;     ///< Engine::eval wall time.
+  double TotalMs = 0;    ///< submit() -> result recorded.
+  std::string Error;     ///< EngineError::describe() when !Ok.
+  std::string Output;    ///< Everything the script print()ed.
+};
+
+/// N engines, one request stream. Not copyable; owns its threads.
+class ScriptServer {
+public:
+  explicit ScriptServer(const ServerConfig &Cfg);
+  ~ScriptServer(); ///< stop()s if still running.
+  ScriptServer(const ScriptServer &) = delete;
+  ScriptServer &operator=(const ScriptServer &) = delete;
+
+  /// Enqueue one script; returns its request id. Blocks while the queue is
+  /// at QueueDepth (producer-side backpressure). Must not be called after
+  /// stop().
+  uint64_t submit(std::string Source);
+
+  /// Block until every submitted request has been served.
+  void drain();
+
+  /// drain(), then shut the workers down (each settles its compile queue
+  /// and snapshots its stats first). Idempotent.
+  void stop();
+
+  /// Move out the results collected so far (unordered across workers).
+  std::vector<RequestResult> takeResults();
+
+  /// Per-context statistics snapshots; valid after stop().
+  const std::vector<VMStats> &workerStats() const { return WorkerStats; }
+
+  /// The shared background compiler (null unless OffThreadCompile).
+  CompileService *compileService() { return CompileSvc.get(); }
+
+private:
+  struct PendingRequest {
+    uint64_t Id;
+    std::string Source;
+    std::chrono::steady_clock::time_point Submitted;
+  };
+
+  void workerMain(uint32_t Index);
+
+  ServerConfig Cfg;
+  std::unique_ptr<CompileService> CompileSvc;
+
+  std::mutex Mu;
+  std::condition_variable WorkCv;   ///< Workers wait for requests/stop.
+  std::condition_variable SubmitCv; ///< Producers wait for queue space.
+  std::condition_variable IdleCv;   ///< drain() waits for quiescence.
+  std::deque<PendingRequest> Requests;
+  std::vector<RequestResult> Results;
+  std::vector<VMStats> WorkerStats;
+  uint32_t BusyWorkers = 0;
+  uint64_t NextId = 1;
+  bool Stopping = false;
+  bool Stopped = false;
+
+  std::vector<std::thread> Threads; ///< Last: started after state is ready.
+};
+
+} // namespace serve
+} // namespace tracejit
+
+#endif // TRACEJIT_SERVE_SERVER_H

@@ -75,6 +75,8 @@ const char *abortReasonName(AbortReason R) {
     return "compile-unsupported";
   case AbortReason::CompileFault:
     return "compile-fault";
+  case AbortReason::CompileQueueFull:
+    return "compile-queue-full";
   case AbortReason::VerifyFailed:
     return "verify-failed";
   case AbortReason::NumReasons:
@@ -169,6 +171,10 @@ const char *jitEventKindName(JitEventKind K) {
     return "IcTransition";
   case JitEventKind::IcInvalidateAll:
     return "IcInvalidateAll";
+  case JitEventKind::CompileJobQueued:
+    return "CompileJobQueued";
+  case JitEventKind::CompileJobDropped:
+    return "CompileJobDropped";
   case JitEventKind::NumKinds:
     break;
   }
@@ -267,6 +273,15 @@ std::string LogJitEventListener::format(const JitEvent &E) {
     break;
   case JitEventKind::IcInvalidateAll:
     snprintf(Buf, sizeof(Buf), " cleared=%" PRIu64, E.Arg0);
+    Out += Buf;
+    break;
+  case JitEventKind::CompileJobQueued:
+    snprintf(Buf, sizeof(Buf), " pending=%" PRIu64, E.Arg0);
+    Out += Buf;
+    break;
+  case JitEventKind::CompileJobDropped:
+    snprintf(Buf, sizeof(Buf), " job-generation=%" PRIu64 " generation=%" PRIu64,
+             E.Arg0, E.Arg1);
     Out += Buf;
     break;
   default:
@@ -387,6 +402,13 @@ std::string ChromeTraceCollector::renderJson() const {
       break;
     case JitEventKind::IcInvalidateAll:
       Args += numArg("cleared", E.Arg0, Args.empty());
+      break;
+    case JitEventKind::CompileJobQueued:
+      Args += numArg("pending", E.Arg0, Args.empty());
+      break;
+    case JitEventKind::CompileJobDropped:
+      Args += numArg("jobGeneration", E.Arg0, Args.empty());
+      Args += numArg("generation", E.Arg1);
       break;
     default:
       break;

@@ -78,6 +78,8 @@ enum class AbortReason : uint8_t {
   CompileOverflow,     ///< Emitted code overflowed the assembler estimate.
   CompileUnsupported,  ///< LIR the backend cannot compile (opcode/spills).
   CompileFault,        ///< Injected CompileFail or a W^X protect failure.
+  CompileQueueFull,    ///< Off-thread compile queue at capacity (backpressure);
+                       ///< the recording is dropped with the usual backoff.
 
   // --- LIR verifier (lir/verify.h) -------------------------------------------
   VerifyFailed,        ///< The verifier rejected the trace; the failed rule
@@ -140,6 +142,11 @@ enum class JitEventKind : uint8_t {
                     ///< Arg0 = new ICState raw value, Arg1 = entry count.
   IcInvalidateAll,  ///< Every property IC was reset (cache flush).
                     ///< Arg0 = ICs that were non-empty.
+  CompileJobQueued, ///< A recording was handed to the background compiler
+                    ///< (OffThreadCompile). Arg0 = jobs now pending.
+  CompileJobDropped,///< A finished/queued compile job was discarded instead
+                    ///< of published (stale generation, flush, shutdown).
+                    ///< Arg0 = job generation, Arg1 = current generation.
   NumKinds
 };
 

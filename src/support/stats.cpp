@@ -75,6 +75,14 @@ std::string VMStats::report() const {
              (unsigned long long)JitDisables);
     Out += Buf;
   }
+  if (CompileJobsQueued || CompileJobsPublished || CompileJobsDropped) {
+    snprintf(Buf, sizeof(Buf),
+             "compile queue: queued=%llu published=%llu dropped=%llu\n",
+             (unsigned long long)CompileJobsQueued,
+             (unsigned long long)CompileJobsPublished,
+             (unsigned long long)CompileJobsDropped);
+    Out += Buf;
+  }
   if (TracesVerified || LirInsVerified || VerifyFailures) {
     snprintf(Buf, sizeof(Buf),
              "lir verifier: traces=%llu instructions=%llu failures=%llu\n",

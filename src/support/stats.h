@@ -76,6 +76,14 @@ struct VMStats {
   uint64_t ProtectFaults = 0;       ///< W^X flips that failed (enter/compile).
   uint64_t JitDisables = 0;         ///< Kill switch trips (0 or 1).
 
+  // --- Off-thread compile pipeline counters ---------------------------------
+  // Mutated on the engine thread only: queueing happens at finishRecording,
+  // publication/drop at the loop-edge drain. The compiler thread never
+  // touches VMStats (see DESIGN.md "Threading model").
+  uint64_t CompileJobsQueued = 0;    ///< Recordings handed to the worker.
+  uint64_t CompileJobsPublished = 0; ///< Finished jobs wired into the cache.
+  uint64_t CompileJobsDropped = 0;   ///< Stale/failed jobs discarded instead.
+
   // --- LIR verifier counters ------------------------------------------------
   uint64_t TracesVerified = 0;    ///< Whole-trace verifyTrace() passes run.
   uint64_t LirInsVerified = 0;    ///< Instructions checked (both entry points).

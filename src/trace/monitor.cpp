@@ -17,17 +17,29 @@ namespace tracejit {
 TraceMonitorImpl::TraceMonitorImpl(VMContext &C, Interpreter &I)
     : Ctx(C), Interp(I) {
   if (Ctx.Opts.JitBackend == Backend::Native) {
-    Native = std::make_unique<NativeBackend>(Ctx.Opts.CodeCacheBytes,
-                                             &Ctx.Opts.FaultInjector);
+    // Off-thread compilation needs the dual-mapped pool so the worker can
+    // emit (write view) while this thread runs traces (exec view).
+    bool OffThread = Ctx.Opts.OffThreadCompile;
+    Native = std::make_unique<NativeBackend>(
+        Ctx.Opts.CodeCacheBytes, &Ctx.Opts.FaultInjector, OffThread);
     if (!Native->valid()) {
-      // Executable memory is unavailable (hardened kernel or injected
-      // ExecMapFail): fall back to the LIR executor, loudly.
+      // Executable memory is unavailable (hardened kernel, no dual-map
+      // support, or injected ExecMapFail): fall back to the LIR executor,
+      // loudly.
       Native.reset();
       ++Ctx.Stats.BackendFallbacks;
       if (Ctx.EventListener) {
         JitEvent E;
         E.Kind = JitEventKind::BackendFallback;
         emitEvent(E);
+      }
+    } else if (OffThread) {
+      uint32_t Depth = Ctx.Opts.CompileQueueDepth;
+      if (Ctx.Opts.SharedCompileService) {
+        Queue = Ctx.Opts.SharedCompileService->createClient(Depth);
+      } else {
+        OwnService = std::make_unique<CompileService>();
+        Queue = OwnService->createClient(Depth);
       }
     }
   }
@@ -40,7 +52,16 @@ TraceMonitorImpl::TraceMonitorImpl(VMContext &C, Interpreter &I)
   });
 }
 
-TraceMonitorImpl::~TraceMonitorImpl() = default;
+TraceMonitorImpl::~TraceMonitorImpl() {
+  // The client must die before the fragments and the backend a worker
+  // compile could still be touching: its destructor pulls queued jobs and
+  // waits out an in-flight one. Then the private service (if any) joins
+  // its thread. Member destruction order would get this right too; being
+  // explicit keeps the invariant visible and independent of declaration
+  // shuffles.
+  Queue.reset();
+  OwnService.reset();
+}
 
 VMStats &TraceMonitorImpl::stats() { return Ctx.Stats; }
 
@@ -50,6 +71,8 @@ void TraceMonitorImpl::collectFragmentProfiles(
     std::vector<FragmentProfile> &Out) const {
   Out.reserve(Out.size() + Fragments.size());
   for (const auto &F : Fragments) {
+    if (F->CompilePending)
+      continue; // the worker owns NativeSize/PatchAddrs right now
     FragmentProfile P;
     P.Id = F->Id;
     P.Generation = F->Generation;
@@ -82,6 +105,10 @@ Fragment *TraceMonitorImpl::newFragment(FragmentKind K) {
   F->Id = NextFragmentId++;
   F->Generation = CacheGeneration;
   F->Kind = K;
+  // Per-fragment LIR arena: the buffer travels with the fragment (into a
+  // compile job, off to the worker) and dies with it, so no global arena
+  // reset can free LIR under an in-flight compile.
+  F->LirArena = std::make_unique<Arena>();
   Fragment *P = F.get();
   Fragments.push_back(std::move(F));
   return P;
@@ -532,6 +559,52 @@ void TraceMonitorImpl::finishRecording(const std::vector<Fragment *> &Peers) {
     }
   }
 
+  if (Native && Queue) {
+    // Off-thread pipeline: package the verified recording as a job and get
+    // back to interpreting. The fragment (with its own LIR arena) stays in
+    // Fragments but is owned by the worker until publication; the
+    // CompilePending flags block duplicate recordings and profile reads.
+    CompileJob J;
+    J.Frag = F;
+    J.Backend = Native.get();
+    J.Ctx = &Ctx;
+    J.Generation = CacheGeneration;
+    J.LS = LS;
+    J.IsRoot = F->Kind == FragmentKind::Root;
+    J.AnchorExit = J.IsRoot ? nullptr : RecorderAnchorExit;
+    J.FragmentId = F->Id;
+    J.ScriptId = F->AnchorScript ? F->AnchorScript->Id : ~0u;
+    J.AnchorPc = F->AnchorPc;
+    if (!Queue->trySubmit(J)) {
+      // Backpressure: the queue is full (or shutting down). Drop the
+      // recording with the usual abort backoff rather than buffering
+      // unboundedly; the loop stays hot and will re-record once the
+      // backlog clears.
+      Recorder = std::move(R); // restore so abortRecording can bookkeep
+      RecorderLoopState = LS;
+      abortRecording(AbortReason::CompileQueueFull, true);
+      return;
+    }
+    F->CompilePending = true;
+    if (J.AnchorExit)
+      J.AnchorExit->CompilePending = true;
+    ++LS->PendingCompiles;
+    ++Ctx.Stats.CompileJobsQueued;
+    if (Ctx.EventListener) {
+      JitEvent E;
+      E.Kind = JitEventKind::CompileJobQueued;
+      E.FragmentId = F->Id;
+      E.ScriptId = J.ScriptId;
+      E.Pc = F->AnchorPc;
+      E.Arg0 = Queue->pendingCount();
+      emitEvent(E);
+    }
+    RecorderAnchorExit = nullptr;
+    if (Stats)
+      Ctx.Stats.switchTo(Activity::Interpret);
+    return;
+  }
+
   if (Native) {
     CompileResult CR = Native->compile(F, &Ctx);
     if (CR == CompileResult::Ok) {
@@ -554,6 +627,16 @@ void TraceMonitorImpl::finishRecording(const std::vector<Fragment *> &Peers) {
     }
   }
 
+  installCompiledFragment(
+      F, LS, F->Kind == FragmentKind::Root ? nullptr : RecorderAnchorExit);
+  RecorderAnchorExit = nullptr;
+
+  if (Stats)
+    Ctx.Stats.switchTo(Activity::Interpret);
+}
+
+void TraceMonitorImpl::installCompiledFragment(Fragment *F, LoopState *LS,
+                                               ExitDescriptor *Anchor) {
   ++Ctx.Stats.TracesCompleted;
   if (Ctx.EventListener) {
     JitEvent E;
@@ -574,7 +657,7 @@ void TraceMonitorImpl::finishRecording(const std::vector<Fragment *> &Peers) {
   } else {
     ++Ctx.Stats.BranchesCompiled;
     // Stitch: patch the parent guard's exit to jump into this branch (§6.2).
-    if (ExitDescriptor *Anchor = RecorderAnchorExit) {
+    if (Anchor) {
       if (Native)
         Native->patchExitTo(Anchor, F);
       else
@@ -589,7 +672,6 @@ void TraceMonitorImpl::finishRecording(const std::vector<Fragment *> &Peers) {
         emitEvent(E);
       }
     }
-    RecorderAnchorExit = nullptr;
   }
 
   // Register this fragment's unstable tail (if any) for future linking.
@@ -599,9 +681,97 @@ void TraceMonitorImpl::finishRecording(const std::vector<Fragment *> &Peers) {
   // And try to link it against peers that already exist.
   for (Fragment *P : LS->Peers)
     linkUnstableExits(LS, P);
+}
 
-  if (Stats)
-    Ctx.Stats.switchTo(Activity::Interpret);
+// --- Off-thread compile publication ------------------------------------------
+
+void TraceMonitorImpl::drainCompileJobs() {
+  if (!Queue || !Queue->hasCompleted())
+    return;
+  // Safe-point discipline: publication mutates LoopStates, patches code,
+  // and may blacklist a loop (rewriting its header bytecode) -- none of
+  // which may happen under an active recorder or a trace on the stack.
+  if (Recorder || Ctx.OnTrace)
+    return;
+  std::vector<CompileJob> Done;
+  Queue->drainCompleted(Done);
+  for (CompileJob &J : Done)
+    publishJob(J);
+}
+
+void TraceMonitorImpl::publishJob(CompileJob &J) {
+  // Stale job: its generation was flushed (the fragment is already freed)
+  // or the engine gave up on jitting. Drop it using only the copied ids --
+  // Frag/LS/AnchorExit must not be dereferenced on this path (LS itself
+  // survives flushes, but its pending count was reset by the flush).
+  if (Disabled || J.Generation != CacheGeneration) {
+    ++Ctx.Stats.CompileJobsDropped;
+    if (Ctx.EventListener) {
+      JitEvent E;
+      E.Kind = JitEventKind::CompileJobDropped;
+      E.FragmentId = J.FragmentId;
+      E.ScriptId = J.ScriptId;
+      E.Pc = J.AnchorPc;
+      E.Arg0 = J.Generation;
+      E.Arg1 = CacheGeneration;
+      emitEvent(E);
+    }
+    return;
+  }
+
+  Fragment *F = J.Frag;
+  LoopState *LS = J.LS;
+  F->CompilePending = false;
+  if (J.AnchorExit)
+    J.AnchorExit->CompilePending = false;
+  if (LS->PendingCompiles > 0)
+    --LS->PendingCompiles;
+
+  if (J.Result != CompileResult::Ok) {
+    // The worker-side compile failed. Replicate the bookkeeping the inline
+    // pipeline's abortRecording would have done (minus the recorder, which
+    // is long gone): abort stats/event, branch-exit failure counting or
+    // root blacklist backoff, and the pool-exhaustion flush request.
+    AbortReason Why = compileAbortReason(J.Result);
+    ++Ctx.Stats.CompileJobsDropped;
+    ++Ctx.Stats.TracesAborted;
+    ++Ctx.Stats.AbortsByReason[(size_t)Why];
+    F->Body.clear(); // fragment stays allocated (ids/roots) but is inert
+    if (Ctx.EventListener) {
+      JitEvent E;
+      E.Kind = JitEventKind::RecordAbort;
+      E.Reason = Why;
+      E.FragmentId = F->Id;
+      E.ScriptId = J.ScriptId;
+      E.Pc = F->AnchorPc;
+      emitEvent(E);
+    }
+    if (J.Result == CompileResult::PoolExhausted)
+      FlushPending = true;
+    if (!J.IsRoot) {
+      if (J.AnchorExit)
+        ++J.AnchorExit->FailedRecordings;
+    } else if (Ctx.Opts.EnableBlacklisting) {
+      ++LS->Failures;
+      LS->BackoffUntil = LS->HitCount + Ctx.Opts.BlacklistBackoff;
+      if (LS->Failures >= Ctx.Opts.MaxRecordingFailures)
+        blacklist(LS);
+    }
+    return;
+  }
+
+  ++Ctx.Stats.CompileJobsPublished;
+  if (Ctx.Opts.DumpAssembly)
+    fprintf(stderr, "--- fragment %u native: %u bytes at %p\n", F->Id,
+            F->NativeSize, (void *)F->NativeEntry);
+  installCompiledFragment(F, LS, J.IsRoot ? nullptr : J.AnchorExit);
+}
+
+void TraceMonitorImpl::waitCompileQueueIdle() {
+  if (!Queue)
+    return;
+  Queue->waitIdle();
+  drainCompileJobs();
 }
 
 void TraceMonitorImpl::flushRecorder() {
@@ -651,6 +821,31 @@ void TraceMonitorImpl::requestCacheFlush() {
 void TraceMonitorImpl::flushCacheNow() {
   assert(!Recorder && !Ctx.OnTrace && "cache flush at an unsafe point");
   FlushPending = false;
+
+  // Quiesce the background compiler before touching any fragment or the
+  // pool: queued jobs are pulled back and dropped here (their fragments
+  // are about to be freed), and an in-flight job is waited out so the pool
+  // holds no reservation when reset() runs. A job that already completed
+  // but was not yet drained survives in the client; the generation bump
+  // below guarantees publishJob drops it at the next drain.
+  if (Queue) {
+    std::vector<CompileJob> Dropped;
+    Queue->quiesce(&Dropped);
+    for (CompileJob &J : Dropped) {
+      ++Ctx.Stats.CompileJobsDropped;
+      if (Ctx.EventListener) {
+        JitEvent E;
+        E.Kind = JitEventKind::CompileJobDropped;
+        E.FragmentId = J.FragmentId;
+        E.ScriptId = J.ScriptId;
+        E.Pc = J.AnchorPc;
+        E.Arg0 = J.Generation;
+        E.Arg1 = CacheGeneration + 1; // the generation this flush creates
+        emitEvent(E);
+      }
+    }
+  }
+
   size_t Reclaimed = Native ? Native->flushCode() : 0;
   if (Ctx.EventListener) {
     for (auto &F : Fragments) {
@@ -674,11 +869,11 @@ void TraceMonitorImpl::flushCacheNow() {
     LS->HitCount = 0;
     LS->BackoffUntil = 0;
     LS->Failures = 0;
+    LS->PendingCompiles = 0; // in-flight jobs are stale as of this flush
   }
   RecorderAnchorExit = nullptr;
   Ctx.LastNestedExit = nullptr;
-  Fragments.clear();
-  LirArena.reset(); // every LIR body died with its fragment
+  Fragments.clear(); // each fragment's LIR arena dies with it
 
   // Inline caches are speculation state too: the flush contract is "reset
   // everything at once". (Oracle poly/mega-site knowledge survives, like
@@ -810,7 +1005,7 @@ void TraceMonitorImpl::handleExit(ExitDescriptor *E) {
   if (E->Kind != ExitKind::Branch && E->Kind != ExitKind::Type &&
       E->Kind != ExitKind::Overflow)
     return;
-  if (E->Target || E->RecordingBlocked)
+  if (E->Target || E->RecordingBlocked || E->CompilePending)
     return;
   Fragment *Root = E->Parent ? E->Parent->Root : nullptr;
   if (!Root || !Root->Loop)
@@ -882,6 +1077,9 @@ uint32_t TraceMonitorImpl::onLoopEdge(Interpreter &I, uint32_t Pc,
   // retired fragment could be re-entered.
   if (FlushPending && !Recorder && !Ctx.OnTrace)
     flushCacheNow();
+  // Publish finished off-thread compiles before peer matching so a tree
+  // that just left the compiler can be entered this very iteration.
+  drainCompileJobs();
   if (Disabled) {
     if (Stats)
       Ctx.Stats.switchTo(Activity::Interpret);
@@ -935,8 +1133,8 @@ uint32_t TraceMonitorImpl::onLoopEdge(Interpreter &I, uint32_t Pc,
     emitEvent(E);
   }
   if (LS->Blacklisted || LS->HitCount < Ctx.Opts.HotLoopThreshold ||
-      LS->HitCount < LS->BackoffUntil ||
-      LS->Peers.size() >= MaxPeersPerLoop) {
+      LS->HitCount < LS->BackoffUntil || LS->PendingCompiles > 0 ||
+      LS->Peers.size() + LS->PendingCompiles >= MaxPeersPerLoop) {
     if (Stats)
       Ctx.Stats.switchTo(Activity::Interpret);
     return NextPc;

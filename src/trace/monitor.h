@@ -18,6 +18,7 @@
 
 #include "interp/interpreter.h"
 #include "interp/tracehooks.h"
+#include "jit/compile_queue.h"
 #include "jit/compiler_x64.h"
 #include "jit/fragment.h"
 #include "support/arena.h"
@@ -39,6 +40,10 @@ struct LoopState {
   std::vector<Fragment *> Peers; ///< Compiled root fragments (trees).
   /// Type-unstable loop tails waiting for a complementary peer (Fig. 6).
   std::vector<ExitDescriptor *> UnstableExits;
+  /// Compile jobs in flight for this header (OffThreadCompile): blocks
+  /// duplicate root recordings and counts toward the peer cap until the
+  /// job publishes or drops.
+  uint32_t PendingCompiles = 0;
 };
 
 class TraceMonitorImpl : public TraceMonitor {
@@ -66,9 +71,13 @@ public:
   bool jitDisabled() const override { return Disabled; }
   size_t codeCacheUsed() const override;
   size_t codeCacheCapacity() const override;
+  uint32_t pendingCompileJobs() const override {
+    return Queue ? Queue->pendingCount() : 0;
+  }
+  void pumpCompileQueue() override { drainCompileJobs(); }
+  void waitCompileQueueIdle() override;
 
   // --- Services for the recorder ----------------------------------------------
-  Arena &lirArena() { return LirArena; }
   Oracle &oracle() { return TheOracle; }
   VMStats &stats();
   /// CallInfo for a typed math native (cached per boxed entry point).
@@ -108,9 +117,31 @@ private:
                       FunctionScript *Script, uint32_t AnchorPc,
                       ExitDescriptor *AnchorExit);
 
-  /// Recording ended at its anchor: run backward filters, compile, link.
+  /// Recording ended at its anchor: run backward filters, compile (inline
+  /// or by submitting a compile job), link.
   void finishRecording(const std::vector<Fragment *> &Peers);
   void abortRecording(AbortReason Why, bool CountsTowardBlacklist);
+
+  // --- Off-thread compile pipeline (jit/compile_queue.h) --------------------
+  // Submit happens in finishRecording; these run the publication side.
+
+  /// Publish/drop every finished compile job. Safe-point only (no recorder
+  /// active, no trace on the native stack); called from loop edges and the
+  /// Engine-facing pump/wait entry points.
+  void drainCompileJobs();
+
+  /// Wire one finished job into the trace cache -- or drop it (stale
+  /// generation, disabled engine) or turn a worker-side compile failure
+  /// into the abort/backoff bookkeeping the inline pipeline would have
+  /// done. Stale jobs must not dereference Frag/LS/AnchorExit: the
+  /// fragment died with its generation's flush.
+  void publishJob(CompileJob &J);
+
+  /// Success bookkeeping shared by the inline pipeline and publishJob:
+  /// stats/events, peer registration, unstable-exit linking, and the
+  /// anchor-exit stitch for branch fragments.
+  void installCompiledFragment(Fragment *F, LoopState *LS,
+                               ExitDescriptor *Anchor);
 
   /// Stamp and deliver a JitEvent (call sites gate on Ctx.EventListener).
   void emitEvent(const JitEvent &E);
@@ -142,8 +173,13 @@ private:
 
   VMContext &Ctx;
   Interpreter &Interp;
-  Arena LirArena;
   std::unique_ptr<NativeBackend> Native; ///< Null => executor backend.
+  /// Off-thread compilation (null pair when OffThreadCompile is off).
+  /// Declaration order matters: Queue (the client) must be destroyed
+  /// before OwnService joins its worker, and both before Native/Fragments
+  /// die -- ~TraceMonitorImpl resets them explicitly.
+  std::unique_ptr<CompileService> OwnService; ///< Engine-private worker.
+  std::unique_ptr<CompileClient> Queue; ///< Portal (own or shared service).
   std::vector<std::unique_ptr<Fragment>> Fragments;
   std::vector<std::unique_ptr<LoopState>> LoopStates;
   std::unique_ptr<TraceRecorder> Recorder;

@@ -31,8 +31,10 @@ TraceRecorder::TraceRecorder(VMContext &C, Interpreter &I,
   noteSlot(numGlobals() + VSp);
 
   // Build the filter pipeline (§5.1): recorder -> ExprFilter -> CseFilter
-  // -> buffer. Filters are toggled for the ablation benchmarks.
-  Buffer = std::make_unique<LirBuffer>(Monitor.lirArena());
+  // -> buffer. Filters are toggled for the ablation benchmarks. LIR lands
+  // in the fragment's own arena so the trace is self-contained when it
+  // travels to the background compiler.
+  Buffer = std::make_unique<LirBuffer>(*Frag->LirArena);
   LirWriter *Head = Buffer.get();
   if (Ctx.Opts.Filters & FilterCSE) {
     Cse = std::make_unique<CseFilter>(Head);

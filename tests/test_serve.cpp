@@ -1,0 +1,162 @@
+//===- test_serve.cpp - Multi-context serving harness --------------------------===//
+//
+// Covers the ScriptServer: request/result correctness across N isolated
+// contexts, per-request print capture and error reporting, bounded-queue
+// submission, drain/reuse, graceful stop with per-worker stats, and N
+// engines sharing one background compiler.
+//
+//===----------------------------------------------------------------------===//
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "api/engine.h"
+#include "jit/compile_queue.h"
+#include "serve/server.h"
+
+using namespace tracejit;
+using namespace tracejit::serve;
+
+namespace {
+
+/// A hot-loop script whose print output is its (deterministic) checksum.
+std::string loopScript(int Variant, int Iters) {
+  return "var t = 0; for (var i = 0; i < " + std::to_string(Iters) +
+         "; ++i) t += i * " + std::to_string(Variant + 1) + " + " +
+         std::to_string(Variant % 5) + "; print(t);";
+}
+
+std::string interpreterOutput(const std::string &Src) {
+  EngineOptions O;
+  O.EnableJit = false;
+  Engine E(O);
+  std::string Out;
+  E.setPrintHook([&Out](const std::string &S) { Out += S; });
+  EXPECT_TRUE(E.eval(Src).ok());
+  return Out;
+}
+
+} // namespace
+
+TEST(Serve, ServesRequestsCorrectlyAcrossContexts) {
+  ServerConfig C;
+  C.Workers = 3;
+  C.QueueDepth = 64;
+  C.Engine.EnableJit = true;
+  C.Engine.CollectStats = true;
+  C.Engine.OffThreadCompile = true;
+  ScriptServer S(C);
+  ASSERT_NE(S.compileService(), nullptr)
+      << "off-thread serving owns a shared compiler";
+
+  std::vector<std::string> Scripts;
+  std::vector<std::string> Want;
+  for (int V = 0; V < 6; ++V) {
+    Scripts.push_back(loopScript(V, 2000));
+    Want.push_back(interpreterOutput(Scripts.back()));
+  }
+  const int Requests = 30;
+  for (int I = 0; I < Requests; ++I)
+    S.submit(Scripts[I % Scripts.size()]);
+  S.stop();
+
+  std::vector<RequestResult> Results = S.takeResults();
+  ASSERT_EQ(Results.size(), (size_t)Requests);
+  std::set<uint64_t> Ids;
+  for (const RequestResult &R : Results) {
+    EXPECT_TRUE(R.Ok) << R.Error;
+    EXPECT_EQ(R.Output, Want[(R.Id - 1) % Want.size()])
+        << "context " << R.Worker << " returned a wrong checksum";
+    EXPECT_LT(R.Worker, C.Workers);
+    EXPECT_GE(R.TotalMs, R.EvalMs);
+    Ids.insert(R.Id);
+  }
+  EXPECT_EQ(Ids.size(), (size_t)Requests) << "request ids must be unique";
+
+  // Per-context stats were snapped at shutdown; jointly they must account
+  // for every request and for a settled compile queue.
+  ASSERT_EQ(S.workerStats().size(), C.Workers);
+  uint64_t Queued = 0, Published = 0, Dropped = 0;
+  for (const VMStats &W : S.workerStats()) {
+    Queued += W.CompileJobsQueued;
+    Published += W.CompileJobsPublished;
+    Dropped += W.CompileJobsDropped;
+  }
+  EXPECT_GT(Queued, 0u) << "hot loops must have compiled off-thread";
+  EXPECT_EQ(Queued, Published + Dropped);
+}
+
+TEST(Serve, ScriptErrorsAreReportedPerRequest) {
+  ServerConfig C;
+  C.Workers = 2;
+  ScriptServer S(C);
+  S.submit("print(1 + 2);");
+  S.submit("var x = ;"); // parse error
+  S.submit("undefinedCall();"); // runtime error
+  S.stop();
+
+  std::vector<RequestResult> Results = S.takeResults();
+  ASSERT_EQ(Results.size(), 3u);
+  int Ok = 0, Failed = 0;
+  for (const RequestResult &R : Results) {
+    if (R.Ok) {
+      ++Ok;
+      EXPECT_EQ(R.Output, "3\n");
+    } else {
+      ++Failed;
+      EXPECT_FALSE(R.Error.empty());
+    }
+  }
+  EXPECT_EQ(Ok, 1);
+  EXPECT_EQ(Failed, 2) << "a failing request must not poison its context";
+}
+
+TEST(Serve, TinyQueueStillServesEverything) {
+  // QueueDepth 1 forces submit() to block on a full queue; every request
+  // must still be served exactly once.
+  ServerConfig C;
+  C.Workers = 1;
+  C.QueueDepth = 1;
+  ScriptServer S(C);
+  for (int I = 0; I < 10; ++I)
+    S.submit(loopScript(I, 500));
+  S.stop();
+  EXPECT_EQ(S.takeResults().size(), 10u);
+}
+
+TEST(Serve, DrainAllowsBatchedUse) {
+  ServerConfig C;
+  C.Workers = 2;
+  ScriptServer S(C);
+  S.submit("print(1);");
+  S.submit("print(2);");
+  S.drain();
+  EXPECT_EQ(S.takeResults().size(), 2u);
+  S.submit("print(3);");
+  S.drain();
+  std::vector<RequestResult> Batch2 = S.takeResults();
+  ASSERT_EQ(Batch2.size(), 1u);
+  EXPECT_EQ(Batch2[0].Output, "3\n");
+  S.stop();
+  S.stop(); // idempotent
+}
+
+TEST(Serve, InlineModeHasNoCompilerThread) {
+  ServerConfig C;
+  C.Workers = 2;
+  C.Engine.EnableJit = true;
+  C.Engine.CollectStats = true;
+  C.Engine.OffThreadCompile = false;
+  ScriptServer S(C);
+  EXPECT_EQ(S.compileService(), nullptr);
+  for (int I = 0; I < 8; ++I)
+    S.submit(loopScript(I, 2000));
+  S.stop();
+  for (const RequestResult &R : S.takeResults())
+    EXPECT_TRUE(R.Ok) << R.Error;
+  for (const VMStats &W : S.workerStats())
+    EXPECT_EQ(W.CompileJobsQueued, 0u) << "inline mode never queues";
+}
