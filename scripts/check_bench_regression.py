@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Compare a freshly measured BENCH_suite.json against the committed snapshot.
+
+The committed snapshot is the perf-trajectory record: every PR that claims a
+speedup (or must not cost one) regenerates it. CI re-measures the suite and
+fails if the geometric-mean speedup fell more than the threshold below the
+snapshot, so an optimizer or backend change cannot silently give back what
+an earlier PR bought.
+
+Usage:
+  check_bench_regression.py BASELINE.json FRESH.json [--threshold 0.10]
+
+Exit status: 0 = within threshold, 1 = regression, 2 = malformed input.
+"""
+
+import argparse
+import json
+import math
+import sys
+
+
+def geomean_speedup(doc):
+    """Prefer recomputing from the per-benchmark rows; fall back to the
+    stored field for older snapshots."""
+    rows = doc.get("benchmarks", [])
+    speedups = [r["speedup"] for r in rows if r.get("speedup", 0) > 0]
+    if speedups:
+        return math.exp(sum(math.log(s) for s in speedups) / len(speedups))
+    if "geomean_speedup" in doc:
+        return float(doc["geomean_speedup"])
+    raise ValueError("no benchmarks[] rows and no geomean_speedup field")
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("baseline")
+    ap.add_argument("fresh")
+    ap.add_argument("--threshold", type=float, default=0.10,
+                    help="allowed fractional geomean drop (default 0.10)")
+    args = ap.parse_args()
+
+    try:
+        with open(args.baseline) as f:
+            base = json.load(f)
+        with open(args.fresh) as f:
+            fresh = json.load(f)
+        base_gm = geomean_speedup(base)
+        fresh_gm = geomean_speedup(fresh)
+    except (OSError, ValueError, KeyError) as e:
+        print(f"error: {e}", file=sys.stderr)
+        return 2
+
+    ratio = fresh_gm / base_gm
+    print(f"baseline geomean speedup: {base_gm:.2f}x")
+    print(f"fresh geomean speedup:    {fresh_gm:.2f}x")
+    print(f"ratio: {ratio:.3f} (threshold: >= {1 - args.threshold:.3f})")
+
+    # Per-benchmark deltas are advisory: single kernels are noisy on shared
+    # CI runners, so only the geomean gates.
+    base_rows = {r["name"]: r for r in base.get("benchmarks", [])}
+    for r in fresh.get("benchmarks", []):
+        b = base_rows.get(r["name"])
+        if not b or b.get("speedup", 0) <= 0 or r.get("speedup", 0) <= 0:
+            continue
+        d = r["speedup"] / b["speedup"]
+        marker = "  <-- slower" if d < 1 - args.threshold else ""
+        print(f"  {r['name']:28s} {b['speedup']:8.2f}x -> "
+              f"{r['speedup']:8.2f}x  ({d:5.3f}){marker}")
+
+    if ratio < 1 - args.threshold:
+        print(f"FAIL: geomean regressed more than "
+              f"{args.threshold * 100:.0f}% vs the committed snapshot",
+              file=sys.stderr)
+        return 1
+    print("OK: no geomean regression")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -58,6 +58,50 @@ bool parseU32(std::string_view Text, uint32_t &Out) {
 
 } // namespace
 
+const char *optPassName(OptPass P) {
+  switch (P) {
+  case OptPass::ExprSimp:
+    return "exprsimp";
+  case OptPass::Cse:
+    return "cse";
+  case OptPass::DeadStore:
+    return "deadstore";
+  case OptPass::Dce:
+    return "dce";
+  case OptPass::GuardElim:
+    return "guardelim";
+  case OptPass::IndVar:
+    return "indvar";
+  case OptPass::Hoist:
+    return "hoist";
+  case OptPass::NumPasses:
+    break;
+  }
+  return "?";
+}
+
+bool parseOptPass(std::string_view Name, OptPass &Out) {
+  for (uint32_t K = 0; K < (uint32_t)OptPass::NumPasses; ++K) {
+    if (Name == optPassName((OptPass)K)) {
+      Out = (OptPass)K;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string OptPipeline::describe() const {
+  std::string Out;
+  for (uint32_t K = 0; K < (uint32_t)OptPass::NumPasses; ++K) {
+    if (!has((OptPass)K))
+      continue;
+    if (!Out.empty())
+      Out += ",";
+    Out += optPassName((OptPass)K);
+  }
+  return Out.empty() ? "none" : Out;
+}
+
 bool EngineOptions::applyFlag(std::string_view Flag) {
   for (const BoolFlag &F : BoolFlags) {
     if (Flag == F.Name) {
@@ -72,6 +116,48 @@ bool EngineOptions::applyFlag(std::string_view Flag) {
   }
   if (Flag == "--executor") {
     JitBackend = Backend::Executor;
+    return true;
+  }
+  // Optimization levels and the named-pass surface over OptPipeline.
+  if (Flag == "-O0" || Flag == "-O1" || Flag == "-O2") {
+    Passes = OptPipeline::level((uint32_t)(Flag[2] - '0'));
+    return true;
+  }
+  constexpr std::string_view OptPrefix = "--jit-opt=";
+  if (Flag.substr(0, OptPrefix.size()) == OptPrefix) {
+    // Comma-separated items, each "[+|-]pass" (bare = "+"), applied to the
+    // current pipeline in order; "none" clears, "all" enables everything.
+    OptPipeline P = Passes;
+    std::string_view List = Flag.substr(OptPrefix.size());
+    if (List.empty())
+      return false;
+    while (!List.empty()) {
+      size_t Comma = List.find(',');
+      std::string_view Item = List.substr(0, Comma);
+      List = Comma == std::string_view::npos ? std::string_view()
+                                             : List.substr(Comma + 1);
+      if (Item.empty())
+        return false;
+      bool Remove = Item[0] == '-';
+      if (Item[0] == '+' || Item[0] == '-')
+        Item = Item.substr(1);
+      if (Item == "none" && !Remove) {
+        P = OptPipeline();
+        continue;
+      }
+      if (Item == "all" && !Remove) {
+        P = OptPipeline::all();
+        continue;
+      }
+      OptPass Pass;
+      if (!parseOptPass(Item, Pass))
+        return false;
+      if (Remove)
+        P.remove(Pass);
+      else
+        P.add(Pass);
+    }
+    Passes = P;
     return true;
   }
   constexpr std::string_view DepthPrefix = "--compile-queue-depth=";

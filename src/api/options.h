@@ -12,6 +12,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <string>
 #include <string_view>
 
 namespace tracejit {
@@ -64,13 +65,75 @@ using FaultHook = std::function<bool(FaultSite)>;
 #define TRACEJIT_IC_DEFAULT 1
 #endif
 
-/// LIR filter pipeline stages (§5.1); bitmask for ablation.
-enum FilterMask : uint32_t {
-  FilterExprSimp = 1u << 0,  ///< Constant folding + algebraic identities.
-  FilterCSE = 1u << 1,       ///< Common subexpression elimination.
-  FilterDeadStore = 1u << 2, ///< Dead data-stack / call-stack store elim.
-  FilterDCE = 1u << 3,       ///< Dead code elimination.
-  FilterAll = FilterExprSimp | FilterCSE | FilterDeadStore | FilterDCE,
+/// One named stage of the LIR optimization pipeline: the paper's §5.1
+/// forward/backward filters plus the loop-optimizer passes (lir/opt.h).
+/// The enum is a registry, not an order -- execution order is fixed by the
+/// pipeline (forward filters stream during recording; trace passes run in
+/// optimizeTrace(): DeadStore, Dce, GuardElim, IndVar, Hoist, Dce).
+enum class OptPass : uint8_t {
+  ExprSimp,  ///< Forward: constant folding + algebraic identities.
+  Cse,       ///< Forward: common subexpression elimination.
+  DeadStore, ///< Backward: dead data-stack / call-stack store elim.
+  Dce,       ///< Backward: dead code elimination.
+  GuardElim, ///< Trace: dominating-guard elimination (GVN with memory
+             ///< generations; drops re-checks of already-guarded facts).
+  IndVar,    ///< Trace: induction-variable recognition; folds per-iteration
+             ///< overflow checks under dominating range guards.
+  Hoist,     ///< Trace: loop-invariant code + guard hoisting into a
+             ///< once-per-entry prologue region (LuaJIT-style).
+  NumPasses
+};
+
+const char *optPassName(OptPass P);
+/// Parse a pass name ("cse", "guardelim", ...); false when unknown.
+bool parseOptPass(std::string_view Name, OptPass &Out);
+
+/// The set of enabled passes. Construct from an -O level and adjust with
+/// add/remove (the `--jit-opt=[+|-]pass,...` surface); the pipeline itself
+/// decides ordering. Level 0 is exactly the paper's §5.1 filter set (the
+/// pre-optimizer default, bit-for-bit); 1 adds guard elimination; 2 adds
+/// the loop passes.
+class OptPipeline {
+public:
+  constexpr OptPipeline() = default; ///< Empty: no passes at all.
+
+  static constexpr OptPipeline level(uint32_t OLevel) {
+    uint32_t B = bit(OptPass::ExprSimp) | bit(OptPass::Cse) |
+                 bit(OptPass::DeadStore) | bit(OptPass::Dce);
+    if (OLevel >= 1)
+      B |= bit(OptPass::GuardElim);
+    if (OLevel >= 2)
+      B |= bit(OptPass::IndVar) | bit(OptPass::Hoist);
+    return OptPipeline(B);
+  }
+  static constexpr OptPipeline all() {
+    return OptPipeline((1u << (uint32_t)OptPass::NumPasses) - 1);
+  }
+
+  constexpr bool has(OptPass P) const { return (Bits & bit(P)) != 0; }
+  constexpr OptPipeline &add(OptPass P) {
+    Bits |= bit(P);
+    return *this;
+  }
+  constexpr OptPipeline &remove(OptPass P) {
+    Bits &= ~bit(P);
+    return *this;
+  }
+  constexpr bool empty() const { return Bits == 0; }
+  constexpr bool operator==(const OptPipeline &O) const {
+    return Bits == O.Bits;
+  }
+  constexpr bool operator!=(const OptPipeline &O) const {
+    return Bits != O.Bits;
+  }
+
+  /// Comma-separated enabled pass names ("exprsimp,cse,..."), or "none".
+  std::string describe() const;
+
+private:
+  explicit constexpr OptPipeline(uint32_t B) : Bits(B) {}
+  static constexpr uint32_t bit(OptPass P) { return 1u << (uint32_t)P; }
+  uint32_t Bits = 0;
 };
 
 struct EngineOptions {
@@ -108,8 +171,17 @@ struct EngineOptions {
   /// §6.4: guard the preempt/GC flag at every loop edge.
   bool EnablePreemptGuard = true;
 
-  /// Active LIR filters.
-  uint32_t Filters = FilterAll;
+  /// Enabled LIR optimization passes. Defaults to the full -O2 pipeline;
+  /// OptPipeline::level(0) restores the pre-optimizer §5.1 filter set
+  /// bit-for-bit. Adjust via "-O0/-O1/-O2" or "--jit-opt=[+|-]pass,...".
+  OptPipeline Passes = OptPipeline::level(2);
+
+  /// Hoisted-guard failures at tree entry (ExitKind::Deopt through the
+  /// fragment's entry exit) tolerated before the monitor permanently stops
+  /// entering that fragment; the loop then re-records against the current
+  /// shapes. Guards against enter/deopt thrash when an invariant the
+  /// prologue checks (e.g. an object's shape) has changed for good.
+  uint32_t EntryDeoptLimit = 8;
 
   /// §3.2: consult/maintain the oracle for int->double demotion.
   bool EnableOracle = true;

@@ -320,6 +320,25 @@ private:
         spill(XmmHeld[R]);
   }
 
+  /// Spill every live register at the prologue/loop boundary. The back edge
+  /// jumps to LoopEntryPc, so any value computed in the prologue (or still
+  /// in a register from the previous iteration) must live in its spill slot
+  /// there: slots are per-value and never recycled, so a prologue value's
+  /// slot stays valid for the whole trace. Immediates and ParamTar go to
+  /// LocKind::None and are rematerialized on demand.
+  void flushPrologue() {
+    for (int R = 0; R < 16; ++R)
+      if (GprHeld[R])
+        spill(GprHeld[R]);
+    for (int R = 0; R < 16; ++R)
+      if (XmmHeld[R])
+        spill(XmmHeld[R]);
+  }
+
+  /// Back-edge target: just past the hoisted prologue (set when the body
+  /// has one; otherwise Loop jumps to NativeEntry).
+  uint8_t *LoopEntryPc = nullptr;
+
   /// Load a call argument into a specific register from wherever it lives.
   void loadArgGpr(Gpr Dst, LIns *V);
   void loadArgXmm(Xmm Dst, LIns *V);
@@ -958,7 +977,13 @@ void FragmentCompiler::emitIns(uint32_t Pos, LIns *I) {
     return;
 
   case LOp::Loop:
-    A.jmp(F->NativeEntry);
+    // With a hoisted prologue the back edge lands at LoopEntryPc, where the
+    // register model is "nothing held" (flushPrologue parked every value in
+    // its spill slot, and slots are never recycled) -- so arbitrary register
+    // state at the jump is fine. Without a prologue the whole body
+    // re-executes and re-defines everything, so NativeEntry needs no fixup
+    // either.
+    A.jmp(LoopEntryPc ? LoopEntryPc : F->NativeEntry);
     return;
 
   case LOp::JmpFrag:
@@ -990,8 +1015,15 @@ bool FragmentCompiler::run() {
 
   // Pass 2: emit.
   F->NativeEntry = A.pc();
-  for (uint32_t P = 0; P < Body.size() && !Failed && !A.overflowed(); ++P)
+  for (uint32_t P = 0; P < Body.size() && !Failed && !A.overflowed(); ++P) {
+    if (F->PrologueEnd && P == F->PrologueEnd) {
+      // Prologue/loop boundary: park every live value in its spill slot so
+      // the back edge can land here with no register assumptions.
+      flushPrologue();
+      LoopEntryPc = A.pc();
+    }
     emitIns(P, Body[P]);
+  }
 
   // Exit stubs: one per descriptor so stitching can retarget every jump to
   // that exit by patching a single site.

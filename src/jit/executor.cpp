@@ -40,8 +40,9 @@ restart_fragment:
     Vals.assign((size_t)MaxId + 1, 0);
   }
 
+  size_t P = 0;
 restart_body:
-  for (size_t P = 0; P < F->Body.size(); ++P) {
+  for (; P < F->Body.size(); ++P) {
     LIns *I = F->Body[P];
     uint64_t &R = Vals[I->Id];
     auto V = [&](LIns *X) -> uint64_t { return Vals[X->Id]; };
@@ -271,6 +272,10 @@ restart_body:
     }
 
     case LOp::Loop:
+      // Back edge re-enters after the hoisted prologue (PrologueEnd == 0
+      // when the loop optimizer did not split this body). Vals persist, so
+      // prologue-computed values remain live across iterations.
+      P = F->PrologueEnd;
       goto restart_body;
 
     case LOp::JmpFrag:

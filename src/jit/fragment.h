@@ -115,6 +115,25 @@ public:
   /// for diagnostics).
   std::vector<LIns *> Body;
 
+  // --- Loop-optimizer prologue region (lir/opt.h, Hoist pass) ---------------
+  /// Body[0, PrologueEnd) is the trace prologue: loop-invariant code and
+  /// hoisted guards executed once per tree entry. The Loop back edge
+  /// re-enters at Body[PrologueEnd], not 0. Zero = no prologue (the whole
+  /// body is the loop, today's default shape).
+  uint32_t PrologueEnd = 0;
+  /// Exit every hoisted guard fails through: a Deopt snapshot of the exact
+  /// entry state (taken before any LIR ran), so a prologue guard failure
+  /// means "pretend we never entered". Null until the recorder creates it
+  /// (root fragments recorded with the Hoist pass enabled).
+  ExitDescriptor *EntryExit = nullptr;
+  /// Times EntryExit fired (hoisted-guard failure at entry).
+  uint32_t EntryDeopts = 0;
+  /// Monitor-side thrash control: skip entering this fragment until the
+  /// loop's hit counter passes this (a failed entry resumes at the header,
+  /// which would otherwise immediately re-enter the same fragment).
+  /// UINT32_MAX = retired from entry for good (EntryDeoptLimit reached).
+  uint32_t EnterBlockedUntil = 0;
+
   /// Values embedded as constants in the code; the trace cache roots them
   /// so the GC cannot collect objects compiled traces point at.
   std::vector<Value> EmbeddedRoots;

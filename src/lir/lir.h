@@ -264,9 +264,12 @@ private:
 /// Result type of an opcode given the IR's typing rules.
 LTy resultType(LOp Op);
 
-/// Render one instruction / a whole body for diagnostics and tests.
+/// Render one instruction / a whole body for diagnostics and tests. The
+/// PrologueEnd overload brackets a loop-optimized body with "-- prologue --"
+/// and "-- loop --" markers (see lir/opt.h).
 std::string formatIns(const LIns *I);
 std::string formatBody(const std::vector<LIns *> &Body);
+std::string formatBody(const std::vector<LIns *> &Body, uint32_t PrologueEnd);
 
 /// Debug consistency check: operand types match opcode signatures, SSA
 /// ordering holds (operands defined before uses). Returns an empty string

@@ -184,6 +184,19 @@ std::string formatBody(const std::vector<LIns *> &Body) {
   return Out;
 }
 
+std::string formatBody(const std::vector<LIns *> &Body, uint32_t PrologueEnd) {
+  if (!PrologueEnd)
+    return formatBody(Body);
+  std::string Out = "-- prologue --\n";
+  for (uint32_t P = 0; P < Body.size(); ++P) {
+    if (P == PrologueEnd)
+      Out += "-- loop --\n";
+    Out += formatIns(Body[P]);
+    Out += "\n";
+  }
+  return Out;
+}
+
 const char *exitKindName(ExitKind K) {
   switch (K) {
   case ExitKind::Branch:

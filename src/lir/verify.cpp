@@ -447,6 +447,34 @@ bool verifyTrace(const Fragment &F, uint32_t NumGlobals, VerifyError &Err,
     return Fail(VerifyRule::Terminator, nullptr,
                 "empty trace body (no terminator)");
 
+  // Prologue region shape (lir/opt.h, Hoist): Body[0, PrologueEnd) runs
+  // once per tree entry, so it must sit strictly inside a Loop-terminated
+  // body, execute no side effects (a prologue-guard failure claims "we
+  // never entered"), and fail only through the entry-state Deopt exit.
+  if (F.PrologueEnd) {
+    if (F.PrologueEnd >= F.Body.size() || F.Body.back() == nullptr ||
+        F.Body.back()->Op != LOp::Loop)
+      return Fail(VerifyRule::PrologueShape, nullptr,
+                  "prologue end " + std::to_string(F.PrologueEnd) +
+                      " out of range, or trace does not end in Loop");
+    for (uint32_t P = 0; P < F.PrologueEnd; ++P) {
+      const LIns *I = F.Body[P];
+      if (!I)
+        break; // the main loop reports null instructions
+      if (I->isStore() || I->Op == LOp::TreeCall || I->Op == LOp::Exit ||
+          I->Op == LOp::JmpFrag ||
+          (I->Op == LOp::Call && (!I->CI || !I->CI->Pure)))
+        return Fail(VerifyRule::PrologueEffect, I,
+                    "side effect inside the prologue region");
+      if (I->isGuard() &&
+          (!F.EntryExit || I->Exit != F.EntryExit ||
+           F.EntryExit->Kind != ExitKind::Deopt))
+        return Fail(
+            VerifyRule::PrologueExit, I,
+            "prologue guard does not exit through the entry-state Deopt exit");
+    }
+  }
+
   // Membership first: distinguishes "defined later" (an ordering bug) from
   // "not in the body at all" (a value the backward filters removed while a
   // survivor still uses it).

@@ -117,6 +117,12 @@ const char *verifyRuleName(VerifyRule R) {
     return "tree-call-type-maps";
   case VerifyRule::Terminator:
     return "terminator";
+  case VerifyRule::PrologueShape:
+    return "prologue-shape";
+  case VerifyRule::PrologueEffect:
+    return "prologue-effect";
+  case VerifyRule::PrologueExit:
+    return "prologue-exit";
   case VerifyRule::NumRules:
     break;
   }

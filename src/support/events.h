@@ -112,6 +112,13 @@ enum class VerifyRule : uint8_t {
   TransferTarget,    ///< TreeCall/JmpFrag target linkage broken.
   TreeCallTypeMaps,  ///< Call-site and inner-entry type maps disagree.
   Terminator,        ///< Trace does not end in exactly one terminator.
+  PrologueShape,     ///< PrologueEnd out of range, or a prologue on a
+                     ///< fragment that does not end in Loop.
+  PrologueEffect,    ///< Prologue contains a side effect (store, impure
+                     ///< call, TreeCall, Exit, JmpFrag) -- entry deopt
+                     ///< would not be transparent.
+  PrologueExit,      ///< A hoisted guard's exit is not the fragment's
+                     ///< entry-state Deopt exit.
   NumRules
 };
 

@@ -83,6 +83,21 @@ std::string VMStats::report() const {
              (unsigned long long)CompileJobsDropped);
     Out += Buf;
   }
+  if (GuardsEliminated || OverflowChecksFolded || IdxStrengthReduced ||
+      InsHoisted || LoopsWithPrologue || EntryDeopts) {
+    snprintf(Buf, sizeof(Buf),
+             "loop optimizer: guards-elim=%llu ovf-folded=%llu "
+             "idx-reduced=%llu hoisted=%llu (guards=%llu) prologues=%llu "
+             "entry-deopts=%llu\n",
+             (unsigned long long)GuardsEliminated,
+             (unsigned long long)OverflowChecksFolded,
+             (unsigned long long)IdxStrengthReduced,
+             (unsigned long long)InsHoisted,
+             (unsigned long long)GuardsHoisted,
+             (unsigned long long)LoopsWithPrologue,
+             (unsigned long long)EntryDeopts);
+    Out += Buf;
+  }
   if (TracesVerified || LirInsVerified || VerifyFailures) {
     snprintf(Buf, sizeof(Buf),
              "lir verifier: traces=%llu instructions=%llu failures=%llu\n",

@@ -96,6 +96,15 @@ struct VMStats {
   uint64_t LirAfterForwardFilters = 0;
   uint64_t LirAfterBackwardFilters = 0;
 
+  // --- Loop optimizer counters (lir/opt.h) ----------------------------------
+  uint64_t GuardsEliminated = 0;     ///< Dominated guards/ovf checks dropped.
+  uint64_t OverflowChecksFolded = 0; ///< AddOvI/SubOvI -> AddI/SubI.
+  uint64_t IdxStrengthReduced = 0;   ///< Indexing address chains simplified.
+  uint64_t InsHoisted = 0;           ///< Instructions moved to prologues.
+  uint64_t GuardsHoisted = 0;        ///< ... of which guards/ovf checks.
+  uint64_t LoopsWithPrologue = 0;    ///< Fragments that gained a prologue.
+  uint64_t EntryDeopts = 0;          ///< Hoisted-guard failures at entry.
+
   // --- Figure 12 timers ----------------------------------------------------
   std::array<double, (size_t)Activity::NumActivities> ActivitySeconds{};
 

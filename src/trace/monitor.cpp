@@ -8,7 +8,7 @@
 #include "api/engine.h"
 #include "interp/natives.h"
 #include "jit/executor.h"
-#include "lir/backward.h"
+#include "lir/opt.h"
 #include "lir/verify.h"
 #include "trace/helpers.h"
 
@@ -322,6 +322,20 @@ ExitDescriptor *TraceMonitorImpl::executeFragment(Fragment *Frag) {
   }
   assert(E && "fragment returned no exit");
   ++E->Hits;
+  if (Frag->EntryExit && E == Frag->EntryExit) {
+    // Entry deopt: a hoisted guard in the prologue failed before the first
+    // iteration ran. The prologue is side-effect-free, so semantically we
+    // never entered -- but re-entering immediately would livelock. Back off
+    // for a couple of header hits; retire the tree's entry permanently once
+    // the deopt count shows its hoisted assumptions just don't hold here.
+    ++Frag->EntryDeopts;
+    ++Ctx.Stats.EntryDeopts;
+    LoopState *LS = Frag->Loop ? Frag->Loop->State : nullptr;
+    Frag->EnterBlockedUntil =
+        Frag->EntryDeopts >= Ctx.Opts.EntryDeoptLimit
+            ? UINT32_MAX
+            : (LS ? LS->HitCount : 0) + 2;
+  }
   if (Ctx.EventListener) {
     JitEvent Ev;
     Ev.Kind = JitEventKind::SideExit;
@@ -507,19 +521,17 @@ void TraceMonitorImpl::finishRecording(const std::vector<Fragment *> &Peers) {
   Fragment *F = R->fragment();
   Ctx.Stats.LirEmitted += F->Body.size();
 
-  // Backward filter pipeline (§5.1).
-  if (Ctx.Opts.Filters & FilterDeadStore)
-    eliminateDeadStores(F->Body, F->EntryTypes.NumGlobals);
-  Ctx.Stats.LirAfterForwardFilters += F->Body.size();
-  if (Ctx.Opts.Filters & FilterDCE)
-    eliminateDeadCode(F->Body);
-  Ctx.Stats.LirAfterBackwardFilters += F->Body.size();
+  // Whole-trace optimizer (§5.1 backward filters + loop passes). Runs here,
+  // before the compile job is built, so off-thread compilation and the LIR
+  // executor both see the optimized (and possibly prologue-split) body.
+  optimizeTrace(*F, Ctx.Opts.Passes, F->EntryTypes.NumGlobals, &Ctx.Stats);
   F->LirAfterFilters = (uint32_t)F->Body.size();
 
   if (Ctx.Opts.DumpLIR) {
     fprintf(stderr, "--- fragment %u (%s) entry %s\n%s", F->Id,
             F->Kind == FragmentKind::Root ? "root" : "branch",
-            F->EntryTypes.describe().c_str(), formatBody(F->Body).c_str());
+            F->EntryTypes.describe().c_str(),
+            formatBody(F->Body, F->PrologueEnd).c_str());
   }
 
   if (Ctx.Opts.VerifyLir) {
@@ -953,6 +965,8 @@ uint32_t TraceMonitorImpl::handleInnerLoopHeader(uint32_t Pc,
   // coerce slots the inner tree (after oracle demotion) expects as doubles.
   Fragment *Inner = nullptr;
   for (Fragment *P : InnerLS->Peers) {
+    if (InnerLS->HitCount < P->EnterBlockedUntil)
+      continue; // entry-deopting inner tree: treat as not ready
     if (!P->Body.empty() && Recorder->framesMatch(P->EntryFrames) &&
         Recorder->canCoerceTo(P->EntryTypes)) {
       Inner = P;
@@ -1102,6 +1116,11 @@ uint32_t TraceMonitorImpl::onLoopEdge(Interpreter &I, uint32_t Pc,
       return true;
     };
     for (Fragment *P : LS->Peers) {
+      // Entry-deopt backoff: a peer whose prologue keeps deopting is
+      // skipped until the loop has hit the header a bit more (UINT32_MAX =
+      // retired for good). Its body stays alive for stitched/nested links.
+      if (LS->HitCount < P->EnterBlockedUntil)
+        continue;
       if (P->EntryTypes == Now && !P->Body.empty() && FramesMatchLive(P)) {
         ExitDescriptor *E = executeFragment(P);
         handleExit(E);

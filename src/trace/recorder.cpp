@@ -36,11 +36,11 @@ TraceRecorder::TraceRecorder(VMContext &C, Interpreter &I,
   // travels to the background compiler.
   Buffer = std::make_unique<LirBuffer>(*Frag->LirArena);
   LirWriter *Head = Buffer.get();
-  if (Ctx.Opts.Filters & FilterCSE) {
+  if (Ctx.Opts.Passes.has(OptPass::Cse)) {
     Cse = std::make_unique<CseFilter>(Head);
     Head = Cse.get();
   }
-  if (Ctx.Opts.Filters & FilterExprSimp) {
+  if (Ctx.Opts.Passes.has(OptPass::ExprSimp)) {
     Expr = std::make_unique<ExprFilter>(Head);
     Head = Expr.get();
   }
@@ -53,6 +53,14 @@ TraceRecorder::TraceRecorder(VMContext &C, Interpreter &I,
   }
   W = Head;
   ParamTar = W->ins0(LOp::ParamTar);
+
+  // Entry-state snapshot for hoisted guards (lir/opt.h): taken before any
+  // other LIR exists, so a guard moved into the prologue can fail through
+  // it as "we never entered" and the interpreter re-runs the iteration.
+  // Only root recordings can gain a prologue, and only when the Hoist pass
+  // is on -- keeping -O0/-O1 exit numbering bit-for-bit unchanged.
+  if (RecMode == Mode::Root && Ctx.Opts.Passes.has(OptPass::Hoist))
+    F->EntryExit = snapshot(ExitKind::Deopt, F->AnchorPc);
 
   // Figure 11 instrumentation: count one iteration per pass through the
   // fragment entry.

@@ -246,11 +246,19 @@ TEST(Filters, EveryFilterSubsetIsCorrect) {
       "var c = 0;\n"
       "for (var q = 2; q < 500; ++q) if (primes[q]) c = c + 1;\n"
       "print(c);";
-  for (uint32_t Mask = 0; Mask <= FilterAll; ++Mask) {
+  // Every subset of the pass registry must be semantics-preserving: the
+  // pipeline owns ordering, so any combination (hoist without DCE, indvar
+  // without guardelim, ...) has to produce the interpreter's answer.
+  const uint32_t N = (uint32_t)OptPass::NumPasses;
+  for (uint32_t Mask = 0; Mask < (1u << N); ++Mask) {
     EngineOptions O = jit();
-    O.Filters = Mask;
+    OptPipeline P;
+    for (uint32_t B = 0; B < N; ++B)
+      if (Mask & (1u << B))
+        P.add((OptPass)B);
+    O.Passes = P;
     RunInfo R = runWith(Src, O);
-    EXPECT_EQ(R.Out, "95\n") << "filter mask " << Mask;
+    EXPECT_EQ(R.Out, "95\n") << "pass set " << P.describe();
   }
 }
 
