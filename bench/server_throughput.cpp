@@ -26,6 +26,8 @@
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <map>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
@@ -77,8 +79,16 @@ struct ConfigResult {
   double ScriptsPerSec = 0;
   double P50Ms = 0, P99Ms = 0;
   uint64_t Queued = 0, Published = 0, Dropped = 0, Flushes = 0;
+  uint64_t TimedOut = 0; ///< Hostile requests the watchdog terminated.
+  double TimeoutRate = 0; ///< TimedOut / all requests (incl. hostile).
   bool Ok = true;
 };
+
+/// Runs forever; only the per-request deadline ends it. One of these rides
+/// along with every batch of real requests so the bench also measures the
+/// watchdog's termination path under load.
+const char *HostileScript = "var t = 0; for (var i = 0; i < 1e18; ++i) t += 1;";
+constexpr uint64_t HostileDeadlineMs = 100;
 
 double percentile(std::vector<double> &V, double P) {
   if (V.empty())
@@ -90,7 +100,7 @@ double percentile(std::vector<double> &V, double P) {
 
 ConfigResult runConfig(const std::string &Name, uint32_t Workers,
                        bool OffThread, const std::vector<Script> &Scripts,
-                       int Requests) {
+                       int Requests, bool HostileMix = false) {
   ServerConfig C;
   C.Workers = Workers;
   C.QueueDepth = 256;
@@ -104,10 +114,20 @@ ConfigResult runConfig(const std::string &Name, uint32_t Workers,
   R.Workers = Workers;
   R.OffThread = OffThread;
 
+  // HostileMix: one hostile (deadline-killed) request per 30 real ones,
+  // interleaved, so the timeout path runs under the same load as the happy
+  // path. Kept out of the four baseline configs so their throughput
+  // numbers stay comparable across snapshots.
+  std::map<uint64_t, const Script *> WantById;
+  std::set<uint64_t> HostileIds;
   ScriptServer Server(C);
   auto Start = std::chrono::steady_clock::now();
-  for (int I = 0; I < Requests; ++I)
-    Server.submit(Scripts[I % Scripts.size()].Source);
+  for (int I = 0; I < Requests; ++I) {
+    WantById[Server.submit(Scripts[I % Scripts.size()].Source)] =
+        &Scripts[I % Scripts.size()];
+    if (HostileMix && I % 30 == 29)
+      HostileIds.insert(Server.submit(HostileScript, HostileDeadlineMs));
+  }
   Server.stop(); // graceful: serves the backlog, settles compile queues
   auto End = std::chrono::steady_clock::now();
 
@@ -115,9 +135,18 @@ ConfigResult runConfig(const std::string &Name, uint32_t Workers,
   R.ScriptsPerSec = Requests / (R.TotalMs / 1000.0);
 
   std::vector<double> Latencies;
+  size_t Served = 0;
   for (const RequestResult &RR : Server.takeResults()) {
+    if (HostileIds.count(RR.Id)) {
+      if (RR.TimedOut)
+        ++R.TimedOut;
+      else
+        R.Ok = false; // a hostile request must die of its deadline
+      continue;
+    }
+    ++Served;
     Latencies.push_back(RR.TotalMs);
-    const Script &S = Scripts[(RR.Id - 1) % Scripts.size()];
+    const Script &S = *WantById[RR.Id];
     if (!RR.Ok || RR.Output != S.Expected) {
       fprintf(stderr, "request %llu WRONG: ok=%d out=%s want=%s err=%s\n",
               (unsigned long long)RR.Id, RR.Ok, RR.Output.c_str(),
@@ -125,8 +154,12 @@ ConfigResult runConfig(const std::string &Name, uint32_t Workers,
       R.Ok = false;
     }
   }
-  if (Latencies.size() != (size_t)Requests)
+  if (Served != (size_t)Requests)
     R.Ok = false;
+  R.TimeoutRate = HostileIds.empty()
+                      ? 0.0
+                      : (double)R.TimedOut /
+                            (double)(Requests + HostileIds.size());
   R.P50Ms = percentile(Latencies, 0.50);
   R.P99Ms = percentile(Latencies, 0.99);
   for (const VMStats &S : Server.workerStats()) {
@@ -174,17 +207,23 @@ int main(int argc, char **argv) {
       runConfig(std::to_string(N) + "ctx-inline", N, false, Scripts, Requests));
   Results.push_back(runConfig(std::to_string(N) + "ctx-offthread", N, true,
                               Scripts, Requests));
+  // Governed traffic: every 30th request is an infinite loop with a 100ms
+  // deadline; the watchdog terminates it and the workers serve on.
+  Results.push_back(runConfig(std::to_string(N) + "ctx-hostile-mix", N, true,
+                              Scripts, Requests, /*HostileMix=*/true));
 
   bool AllOk = true;
-  printf("%-18s %12s %10s %10s %10s  %s\n", "config", "scripts/sec",
-         "p50(ms)", "p99(ms)", "total(ms)", "compile jobs (q/pub/drop)");
+  printf("%-18s %12s %10s %10s %10s %9s  %s\n", "config", "scripts/sec",
+         "p50(ms)", "p99(ms)", "total(ms)", "timeout%",
+         "compile jobs (q/pub/drop)");
   for (const ConfigResult &R : Results) {
     AllOk = AllOk && R.Ok;
-    printf("%-18s %12.1f %10.2f %10.2f %10.1f  %llu/%llu/%llu  flushes=%llu%s\n",
+    printf("%-18s %12.1f %10.2f %10.2f %10.1f %8.1f%%  %llu/%llu/%llu  "
+           "flushes=%llu%s\n",
            R.Name.c_str(), R.ScriptsPerSec, R.P50Ms, R.P99Ms, R.TotalMs,
-           (unsigned long long)R.Queued, (unsigned long long)R.Published,
-           (unsigned long long)R.Dropped, (unsigned long long)R.Flushes,
-           R.Ok ? "" : "  CHECKSUM-FAIL");
+           100.0 * R.TimeoutRate, (unsigned long long)R.Queued,
+           (unsigned long long)R.Published, (unsigned long long)R.Dropped,
+           (unsigned long long)R.Flushes, R.Ok ? "" : "  CHECKSUM-FAIL");
   }
 
   double Scaling = Results[0].ScriptsPerSec > 0
@@ -215,11 +254,13 @@ int main(int argc, char **argv) {
             "\"scripts_per_sec\": %.1f, \"p50_ms\": %.3f, \"p99_ms\": %.3f, "
             "\"total_ms\": %.1f, \"compile_jobs_queued\": %llu, "
             "\"compile_jobs_published\": %llu, \"compile_jobs_dropped\": "
-            "%llu, \"cache_flushes\": %llu, \"ok\": %s}%s\n",
+            "%llu, \"cache_flushes\": %llu, \"timed_out\": %llu, "
+            "\"timeout_rate\": %.4f, \"ok\": %s}%s\n",
             R.Name.c_str(), R.Workers, R.OffThread ? "true" : "false",
             R.ScriptsPerSec, R.P50Ms, R.P99Ms, R.TotalMs,
             (unsigned long long)R.Queued, (unsigned long long)R.Published,
             (unsigned long long)R.Dropped, (unsigned long long)R.Flushes,
+            (unsigned long long)R.TimedOut, R.TimeoutRate,
             R.Ok ? "true" : "false", I + 1 < Results.size() ? "," : "");
   }
   fprintf(F, "  ],\n");

@@ -30,8 +30,57 @@ Engine::Engine(const EngineOptions &Opts) : Ctx(Opts) {
 }
 
 Engine::~Engine() {
+  if (TimerThread.joinable()) {
+    {
+      std::lock_guard<std::mutex> L(TimerMu);
+      TimerStop = true;
+    }
+    TimerCv.notify_all();
+    TimerThread.join();
+  }
   Ctx.EventListener = nullptr;
   Ctx.Monitor = nullptr; // monitor dies before the context it observes
+}
+
+// --- Deadline timer -----------------------------------------------------------
+
+void Engine::armDeadlineTimer(std::chrono::steady_clock::time_point At) {
+  {
+    std::lock_guard<std::mutex> L(TimerMu);
+    TimerDeadline = At;
+    TimerArmed = true;
+    if (!TimerThread.joinable())
+      TimerThread = std::thread([this] { deadlineTimerMain(); });
+  }
+  TimerCv.notify_all();
+}
+
+void Engine::disarmDeadlineTimer() {
+  {
+    std::lock_guard<std::mutex> L(TimerMu);
+    TimerArmed = false;
+  }
+  TimerCv.notify_all();
+}
+
+void Engine::deadlineTimerMain() {
+  std::unique_lock<std::mutex> L(TimerMu);
+  while (!TimerStop) {
+    if (!TimerArmed) {
+      TimerCv.wait(L);
+      continue;
+    }
+    auto Now = std::chrono::steady_clock::now();
+    if (Now < TimerDeadline) {
+      TimerCv.wait_until(L, TimerDeadline);
+      continue;
+    }
+    // Expired: raise, then keep re-raising every few ms while armed, so a
+    // benign safe-point service that consumed the bit alongside a GC
+    // request cannot swallow the termination.
+    Ctx.requestInterrupt(InterruptDeadline);
+    TimerCv.wait_for(L, std::chrono::milliseconds(5));
+  }
 }
 
 void Engine::refreshListenerGate() {
@@ -42,7 +91,13 @@ EvalResult Engine::eval(std::string_view Source) {
   EvalResult R;
   Ctx.HasError = false;
   Ctx.ErrorMessage.clear();
+  Ctx.ErrorCode = ErrorKind::Runtime;
+  Ctx.ErrorLine = Ctx.ErrorCol = 0;
   Ctx.LastResult = Value::undefined();
+  // Drop termination bits left over from a previous request (a watchdog
+  // raise that lost the race with request completion) but keep a pending
+  // GC request -- the heap's needs outlive any one script.
+  Ctx.PreemptFlag.fetch_and(~InterruptTermination, std::memory_order_acq_rel);
   if (Monitor)
     Monitor->onEvalStart(); // fresh per-eval cache-flush budget
 
@@ -53,13 +108,32 @@ EvalResult Engine::eval(std::string_view Source) {
     return R;
   }
 
+  const bool Deadline = Ctx.Opts.EvalDeadlineMs > 0;
+  if (Deadline) {
+    auto At = std::chrono::steady_clock::now() +
+              std::chrono::milliseconds(Ctx.Opts.EvalDeadlineMs);
+    Ctx.DeadlineArmed = true;
+    Ctx.DeadlineAt = At;
+    Ctx.DeadlinePollCountdown = 0;
+    armDeadlineTimer(At);
+  }
   {
     ActivityScope T(Ctx.Stats, Activity::Interpret, Ctx.Opts.CollectStats);
     Interp->run(Top);
   }
+  if (Deadline) {
+    disarmDeadlineTimer();
+    Ctx.DeadlineArmed = false;
+    // A raise that landed after the script finished must not leak into the
+    // next request.
+    Ctx.PreemptFlag.fetch_and(~InterruptDeadline, std::memory_order_acq_rel);
+  }
   Ctx.Stats.stopTiming();
   if (Ctx.HasError) {
-    R.Err.Kind = ErrorKind::Runtime;
+    R.Err.Kind = Ctx.ErrorCode == ErrorKind::None ? ErrorKind::Runtime
+                                                  : Ctx.ErrorCode;
+    R.Err.Line = Ctx.ErrorLine;
+    R.Err.Col = Ctx.ErrorCol;
     R.Err.Message = Ctx.ErrorMessage;
     Ctx.HasError = false;
     return R;

@@ -18,10 +18,14 @@
 #ifndef TRACEJIT_API_ENGINE_H
 #define TRACEJIT_API_ENGINE_H
 
+#include <chrono>
+#include <condition_variable>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
+#include <thread>
 #include <vector>
 
 #include "api/options.h"
@@ -86,9 +90,19 @@ public:
   /// or the file cannot be written.
   bool exportTraceEvents(const std::string &Path) const;
 
-  /// Raise the preempt flag, as the host would to interrupt a hot loop
-  /// (§6.4); the next loop edge -- interpreted or native -- services it.
-  void requestPreempt() { Ctx.PreemptFlag = 1; }
+  /// Raise the benign GC-request bit, as the heap does under pressure; the
+  /// next loop edge -- interpreted or native -- services it (§6.4) and the
+  /// script continues. Kept for tests/hosts that want to force a safe-point
+  /// visit without terminating anything.
+  void requestPreempt() { Ctx.requestInterrupt(InterruptGC); }
+
+  /// Cooperatively terminate the running script: raises the HostInterrupt
+  /// bit, which the next safe point (interpreter loop edge or trace preempt
+  /// exit) turns into ErrorKind::Interrupted. Safe to call from any thread;
+  /// the engine stays fully reusable afterwards. A no-op if nothing is
+  /// running by the time the bit would be serviced (eval clears stale
+  /// termination bits on entry).
+  void requestInterrupt() { Ctx.requestInterrupt(InterruptHost); }
 
   // --- Code-cache lifecycle ---------------------------------------------------
 
@@ -138,12 +152,28 @@ private:
   /// the disabled path stays a single null check.
   void refreshListenerGate();
 
+  // Deadline timer thread (EvalDeadlineMs): spawned lazily on the first
+  // deadline-armed eval, it raises InterruptDeadline at expiry so traces
+  // that never reach the interpreter's clock poll still exit through their
+  // §6.4 guard. Joined in ~Engine before Ctx dies (Ctx is the first member,
+  // so it outlives the join regardless).
+  void armDeadlineTimer(std::chrono::steady_clock::time_point At);
+  void disarmDeadlineTimer();
+  void deadlineTimerMain();
+
   VMContext Ctx;
   std::unique_ptr<Interpreter> Interp;
   std::unique_ptr<TraceMonitor> Monitor;
   JitEventMux Mux;
   std::unique_ptr<LogJitEventListener> LogListener;   ///< Opts.LogJitEvents.
   std::unique_ptr<ChromeTraceCollector> TraceCapture; ///< CaptureTraceEvents.
+
+  std::thread TimerThread;
+  std::mutex TimerMu;
+  std::condition_variable TimerCv;
+  std::chrono::steady_clock::time_point TimerDeadline{};
+  bool TimerArmed = false; ///< Guarded by TimerMu.
+  bool TimerStop = false;  ///< Guarded by TimerMu; set once in ~Engine.
 };
 
 /// Factory defined by the trace engine; returns nullptr when \p Opts

@@ -168,6 +168,31 @@ bool EngineOptions::applyFlag(std::string_view Flag) {
     CompileQueueDepth = Depth;
     return true;
   }
+  // Resource governance: deadlines, heap quota, frame limit.
+  constexpr std::string_view DeadlinePrefix = "--deadline-ms=";
+  if (Flag.substr(0, DeadlinePrefix.size()) == DeadlinePrefix) {
+    uint32_t Ms = 0;
+    if (!parseU32(Flag.substr(DeadlinePrefix.size()), Ms))
+      return false;
+    EvalDeadlineMs = Ms;
+    return true;
+  }
+  constexpr std::string_view HeapPrefix = "--max-heap=";
+  if (Flag.substr(0, HeapPrefix.size()) == HeapPrefix) {
+    uint32_t Bytes = 0;
+    if (!parseU32(Flag.substr(HeapPrefix.size()), Bytes))
+      return false;
+    MaxHeapBytes = Bytes;
+    return true;
+  }
+  constexpr std::string_view FramesPrefix = "--max-frames=";
+  if (Flag.substr(0, FramesPrefix.size()) == FramesPrefix) {
+    uint32_t Frames = 0;
+    if (!parseU32(Flag.substr(FramesPrefix.size()), Frames) || Frames == 0)
+      return false;
+    MaxFrames = Frames;
+    return true;
+  }
   return false;
 }
 

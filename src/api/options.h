@@ -26,12 +26,16 @@ enum class Backend : uint8_t {
 };
 
 /// Failure sites the deterministic fault injector can trigger. Each site
-/// corresponds to one real-world failure mode of the code-cache lifecycle.
+/// corresponds to one real-world failure mode of the code-cache lifecycle
+/// or the heap-quota governor.
 enum class FaultSite : uint8_t {
   ExecMapFail,   ///< mmap of the executable pool fails (hardened kernels).
   ExecAllocFail, ///< A code-cache reservation cannot be satisfied.
   ProtectFail,   ///< mprotect W^X flip fails.
   CompileFail,   ///< The backend fails to compile a fragment.
+  HeapAllocFail, ///< An allocation site acts as if collection could not get
+                 ///< the heap under quota: the HeapQuota interrupt is raised
+                 ///< and the script terminates as OutOfMemory.
 };
 
 const char *faultSiteName(FaultSite S);
@@ -270,6 +274,25 @@ struct EngineOptions {
   /// effective when the build detected compiler support (CMake defines
   /// TRACEJIT_COMPUTED_GOTO); otherwise the switch loop runs regardless.
   bool ThreadedDispatch = true;
+
+  // --- Resource governance ----------------------------------------------------
+
+  /// Wall-clock budget for one Engine::eval, in milliseconds; 0 = no
+  /// deadline. Enforced cooperatively: the interpreter polls a monotonic
+  /// clock every few loop edges and hot traces reach the same check through
+  /// their §6.4 preempt guard, so an expired deadline terminates the script
+  /// as ErrorKind::Timeout at the next safe point. The engine stays fully
+  /// reusable afterwards (heap, trace cache, and ICs intact).
+  uint64_t EvalDeadlineMs = 0;
+
+  /// Heap quota, in bytes; 0 = unlimited. When live allocation stays above
+  /// the quota even after a collection, the script terminates as
+  /// ErrorKind::OutOfMemory instead of growing without bound.
+  size_t MaxHeapBytes = 0;
+
+  /// Interpreter call-frame limit; exceeding it raises a structured
+  /// ErrorKind::StackOverflow ("too much recursion").
+  uint32_t MaxFrames = 2048;
 
   /// Apply one command-line style flag ("--ic", "--no-jit", ...) to this
   /// options struct. The single source of truth for engine flags: the repl

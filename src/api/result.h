@@ -15,8 +15,20 @@
 
 namespace tracejit {
 
-/// Which stage of evaluation produced an error.
-enum class ErrorKind : uint8_t { None, Lex, Parse, Runtime };
+/// Which stage of evaluation produced an error -- or, for the resource-
+/// governance kinds, which governor terminated the script. The governance
+/// kinds (StackOverflow, Timeout, Interrupted, OutOfMemory) all leave the
+/// engine fully reusable: heap, trace cache, and ICs survive the unwind.
+enum class ErrorKind : uint8_t {
+  None,
+  Lex,
+  Parse,
+  Runtime,
+  StackOverflow, ///< EngineOptions::MaxFrames (or the value stack) exceeded.
+  Timeout,       ///< A deadline fired (EvalDeadlineMs or a server watchdog).
+  Interrupted,   ///< The host asked for termination (Engine::requestInterrupt).
+  OutOfMemory,   ///< Collection could not get under EngineOptions::MaxHeapBytes.
+};
 
 inline const char *errorKindName(ErrorKind K) {
   switch (K) {
@@ -28,6 +40,14 @@ inline const char *errorKindName(ErrorKind K) {
     return "parse";
   case ErrorKind::Runtime:
     return "runtime";
+  case ErrorKind::StackOverflow:
+    return "stack-overflow";
+  case ErrorKind::Timeout:
+    return "timeout";
+  case ErrorKind::Interrupted:
+    return "interrupted";
+  case ErrorKind::OutOfMemory:
+    return "out-of-memory";
   }
   return "?";
 }
@@ -47,8 +67,27 @@ struct EngineError {
   std::string describe() const {
     if (Kind == ErrorKind::None)
       return "";
-    std::string Out =
-        Kind == ErrorKind::Runtime ? "RuntimeError: " : "SyntaxError: ";
+    const char *Prefix = "SyntaxError: ";
+    switch (Kind) {
+    case ErrorKind::Runtime:
+      Prefix = "RuntimeError: ";
+      break;
+    case ErrorKind::StackOverflow:
+      Prefix = "StackOverflowError: ";
+      break;
+    case ErrorKind::Timeout:
+      Prefix = "TimeoutError: ";
+      break;
+    case ErrorKind::Interrupted:
+      Prefix = "InterruptedError: ";
+      break;
+    case ErrorKind::OutOfMemory:
+      Prefix = "OutOfMemoryError: ";
+      break;
+    default:
+      break;
+    }
+    std::string Out = Prefix;
     if (!File.empty()) {
       Out += File;
       if (Line) {

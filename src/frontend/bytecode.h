@@ -122,6 +122,15 @@ struct LoopRecord {
   LoopState *State = nullptr;
 };
 
+/// Sparse pc -> source position note. The parser records one note per
+/// bytecode whose position differs from the previous note's, so runtime
+/// errors (stack overflow, type errors) can report where they happened.
+struct LineNote {
+  uint32_t Pc = 0;
+  uint32_t Line = 0; ///< 1-based.
+  uint32_t Col = 0;  ///< 1-based.
+};
+
 /// A compiled function (or the top-level script).
 struct FunctionScript {
   uint32_t Id = 0;
@@ -137,6 +146,8 @@ struct FunctionScript {
   /// bytecode's second u16 operand). Mutable execution state, not code:
   /// reset wholesale by VMContext::invalidateAllICs().
   std::vector<PropertyIC> ICs;
+  /// Sparse source positions, ascending by Pc (see LineNote).
+  std::vector<LineNote> LineNotes;
 
   Op opAt(uint32_t Pc) const { return (Op)Code[Pc]; }
   uint16_t u16At(uint32_t Pc) const {
@@ -149,6 +160,23 @@ struct FunctionScript {
 
   /// Total slots an interpreter frame needs.
   uint32_t frameSlots() const { return NumLocals + MaxStack; }
+
+  /// Source position of the bytecode at \p Pc: the last LineNote at or
+  /// before it. {0, 0, 0} when no notes cover the pc.
+  LineNote lineAt(uint32_t Pc) const {
+    LineNote Best;
+    size_t Lo = 0, Hi = LineNotes.size();
+    while (Lo < Hi) {
+      size_t Mid = Lo + (Hi - Lo) / 2;
+      if (LineNotes[Mid].Pc <= Pc) {
+        Best = LineNotes[Mid];
+        Lo = Mid + 1;
+      } else {
+        Hi = Mid;
+      }
+    }
+    return Best;
+  }
 
   /// Human-readable disassembly (tests and diagnostics).
   std::string disassemble() const;

@@ -49,6 +49,13 @@ void Parser::errorAt(const Token &T, const std::string &Msg) {
 // --- Emission ----------------------------------------------------------------
 
 void Parser::emitOp(Op O, int StackDelta) {
+  // Source position for runtime errors: one sparse note per position change
+  // (most consecutive bytecodes share a line/col, so the table stays small).
+  const Token &T = Prev.Line ? Prev : Cur;
+  if (T.Line &&
+      (Script->LineNotes.empty() || Script->LineNotes.back().Line != T.Line ||
+       Script->LineNotes.back().Col != T.Col))
+    Script->LineNotes.push_back({(uint32_t)Script->Code.size(), T.Line, T.Col});
   Script->Code.push_back((uint8_t)O);
   adjustStack(StackDelta);
 }

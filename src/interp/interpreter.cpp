@@ -13,7 +13,7 @@ namespace tracejit {
 
 Interpreter::Interpreter(VMContext &C) : Ctx(C) {
   Stack.resize(StackSlots, Value::undefined());
-  Frames.reserve(MaxFrames);
+  Frames.reserve(C.Opts.MaxFrames);
   // Root the live portion of the value stack.
   Ctx.TheHeap.addRootProvider([this](Marker &M) {
     for (uint32_t I = 0; I < Sp; ++I)
@@ -114,11 +114,21 @@ Value Interpreter::concatValues(const Value &A, const Value &B) {
 }
 
 void Interpreter::rtError(const char *Msg) {
+  rtError(ErrorKind::Runtime, Msg);
+}
+
+void Interpreter::rtError(ErrorKind Kind, const char *Msg) {
   std::string Full = Msg;
-  if (!Frames.empty() && Frames.back().Script &&
-      !Frames.back().Script->Name.empty())
-    Full += " (in function " + Frames.back().Script->Name + ")";
-  Ctx.raiseError(Full);
+  LineNote Where;
+  if (!Frames.empty() && Frames.back().Script) {
+    FunctionScript *S = Frames.back().Script;
+    if (!S->Name.empty())
+      Full += " (in function " + S->Name + ")";
+    Where = S->lineAt(Pc);
+  }
+  Ctx.raiseError(Kind, Full, Where.Line, Where.Col);
+  if (Kind == ErrorKind::StackOverflow)
+    ++Ctx.Stats.StackOverflows;
 }
 
 // --- Property / element / call semantics ----------------------------------------
@@ -206,11 +216,11 @@ bool Interpreter::pushFrameForCall(Object *Callee, uint32_t ArgC) {
   }
   uint32_t Base = Sp - ArgC;
   if (Base + S->frameSlots() + 64 > StackSlots) {
-    rtError("stack overflow");
+    rtError(ErrorKind::StackOverflow, "stack overflow");
     return false;
   }
-  if (Frames.size() >= MaxFrames) {
-    rtError("too much recursion");
+  if (Frames.size() >= Ctx.Opts.MaxFrames) {
+    rtError(ErrorKind::StackOverflow, "too much recursion");
     return false;
   }
   // Initialize non-parameter locals.
@@ -253,6 +263,7 @@ Value Interpreter::callValue(Value Callee, Value ThisV, const Value *Args,
 // --- Dispatch -------------------------------------------------------------------
 
 Value Interpreter::run(FunctionScript *Top) {
+  uint32_t EntrySp = Sp;
   Frame F;
   F.Script = Top;
   F.Base = Sp;
@@ -263,6 +274,11 @@ Value Interpreter::run(FunctionScript *Top) {
   Value R = dispatchUntil(Frames.size() - 1);
   if (Ctx.Monitor)
     Ctx.Monitor->flushRecorder();
+  // An error unwind pops frames without restoring Sp; reset it so the dead
+  // frames' values stop rooting garbage (an aborted allocation bomb must be
+  // collectable, or the engine would stay over quota forever).
+  if (Ctx.HasError)
+    Sp = EntrySp;
   return R;
 }
 

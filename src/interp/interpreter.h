@@ -120,7 +120,11 @@ private:
   bool setElemValue(const Value &Base, const Value &Index, const Value &V);
   Value callPropValue(Value Recv, String *Name, const Value *Args, uint32_t N);
 
+  /// Raise a runtime error at the current pc (kind defaults to Runtime;
+  /// pushFrameForCall raises StackOverflow). Source position comes from the
+  /// current script's line notes.
   void rtError(const char *Msg);
+  void rtError(ErrorKind Kind, const char *Msg);
 
   VMContext &Ctx;
   std::vector<Value> Stack;
@@ -129,7 +133,6 @@ private:
   uint32_t Pc = 0; ///< Current pc within Frames.back().
 
   static constexpr uint32_t StackSlots = 1 << 16;
-  static constexpr uint32_t MaxFrames = 2048;
 };
 
 } // namespace tracejit

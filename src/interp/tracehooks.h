@@ -54,6 +54,12 @@ public:
   /// frame or an error unwinds; any active recording must be aborted.
   virtual void flushRecorder() = 0;
 
+  /// A governor (deadline, host interrupt, heap quota) is terminating the
+  /// running script: abort any active recording without blacklisting the
+  /// loop (AbortReason::Interrupted) -- the loop did nothing untraceable,
+  /// the script just ran out of budget.
+  virtual void abortForInterrupt() {}
+
   /// Fold derived statistics (e.g. the Figure 11 native-bytecode estimate,
   /// summed over fragments) into VMStats before it is read.
   virtual void syncStats() {}

@@ -11,6 +11,7 @@
 #define TRACEJIT_INTERP_VMCONTEXT_H
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -19,6 +20,7 @@
 #include <vector>
 
 #include "api/options.h"
+#include "api/result.h"
 #include "frontend/bytecode.h"
 #include "support/stats.h"
 #include "vm/gc.h"
@@ -54,9 +56,27 @@ struct GlobalTable {
   uint32_t size() const { return (uint32_t)Values.size(); }
 };
 
+/// Interrupt-request bits for VMContext::PreemptFlag. Any nonzero value
+/// makes every compiled loop edge side-exit (the §6.4 guard tests the whole
+/// word against zero, so new bits need no codegen change) and makes the
+/// interpreter service the request at its next loop edge.
+enum : uint32_t {
+  InterruptGC = 1u << 0,        ///< The heap asked for a collection (benign).
+  InterruptHost = 1u << 1,      ///< Engine::requestInterrupt: terminate the
+                                ///< script as ErrorKind::Interrupted.
+  InterruptDeadline = 1u << 2,  ///< A deadline expired: terminate as
+                                ///< ErrorKind::Timeout.
+  InterruptHeapQuota = 1u << 3, ///< Collection cannot get under
+                                ///< MaxHeapBytes: terminate as OutOfMemory.
+  /// The bits that terminate the script (vs. the benign GC request).
+  InterruptTermination = InterruptHost | InterruptDeadline | InterruptHeapQuota,
+};
+
 struct VMContext {
   explicit VMContext(const EngineOptions &O)
-      : Opts(O), Atoms(TheHeap), RandomState(0x2545F4914F6CDD1DULL) {
+      : Opts(O), Atoms(TheHeap),
+        FrameReturnPcs((size_t)O.MaxFrames + O.MaxInlineDepth + 1, 0),
+        RandomState(0x2545F4914F6CDD1DULL) {
     TheHeap.addRootProvider([this](Marker &M) {
       for (Value &V : Globals.Values)
         M.markValue(V);
@@ -100,12 +120,22 @@ struct VMContext {
   /// surfaced through EvalResult::LastValue. GC-rooted until overwritten.
   Value LastResult = Value::undefined();
 
-  /// The preempt flag: set by GC pressure (or tests); every compiled loop
-  /// edge guards on it being zero (§6.4). Must have a stable address that
+  /// The interrupt-request bitmask (Interrupt* bits above), historically
+  /// the GC preempt flag. Every compiled loop edge guards on it being zero
+  /// (§6.4), so a raise from any thread drives hot traces back to the
+  /// monitor within one iteration. Must have a stable address that
   /// generated code can embed; std::atomic<uint32_t> is layout-compatible
   /// with the plain 4-byte load traces compile in, and makes cross-thread
-  /// raises (a future external interruptor; TSan today) well-defined.
+  /// raises (the Engine deadline timer, the ScriptServer watchdog)
+  /// well-defined. This word is the one sanctioned cross-thread touch of
+  /// engine state.
   std::atomic<uint32_t> PreemptFlag{0};
+
+  /// OR interrupt-request bits into the flag. Safe from any thread; the
+  /// owning thread services the request at its next safe point.
+  void requestInterrupt(uint32_t Bits) {
+    PreemptFlag.fetch_or(Bits, std::memory_order_release);
+  }
 
   /// Set while a compiled trace is running; external functions that reenter
   /// the interpreter check it (§6.5). Also used as the "no GC on trace"
@@ -124,13 +154,42 @@ struct VMContext {
   /// call site a trace was entered from, so they travel dynamically: the
   /// monitor writes the live frames' return pcs here on trace entry, and
   /// traces store the (static) return pc of each call they inline at the
-  /// frame's depth. Restores read return pcs from here.
-  std::vector<uint32_t> FrameReturnPcs = std::vector<uint32_t>(2048, 0);
+  /// frame's depth. Restores read return pcs from here. Sized in the ctor:
+  /// MaxFrames interpreter frames plus MaxInlineDepth trace-inlined frames.
+  std::vector<uint32_t> FrameReturnPcs;
 
   /// Runtime error state (we compile with -fno-exceptions style error
   /// handling: natives/interpreter set this and unwind by return values).
   bool HasError = false;
   std::string ErrorMessage;
+  ErrorKind ErrorCode = ErrorKind::Runtime; ///< Kind of the pending error.
+  uint32_t ErrorLine = 0;                   ///< 1-based; 0 when unknown.
+  uint32_t ErrorCol = 0;
+
+  // --- Deadline governor state (owning thread only) ---------------------------
+
+  /// Armed by Engine::eval when EvalDeadlineMs is set. The interpreter
+  /// polls the monotonic clock every DeadlinePollInterval loop edges (hot
+  /// traces don't poll -- the Engine's timer thread or the server watchdog
+  /// raises InterruptDeadline, and the §6.4 guard drives the trace out).
+  bool DeadlineArmed = false;
+  std::chrono::steady_clock::time_point DeadlineAt{};
+  uint32_t DeadlinePollCountdown = 0;
+  static constexpr uint32_t DeadlinePollInterval = 64;
+
+  /// Cheap loop-edge deadline check: one decrement most edges, one clock
+  /// read every DeadlinePollInterval-th.
+  void pollDeadline() {
+    if (!DeadlineArmed)
+      return;
+    if (DeadlinePollCountdown > 0) {
+      --DeadlinePollCountdown;
+      return;
+    }
+    DeadlinePollCountdown = DeadlinePollInterval;
+    if (std::chrono::steady_clock::now() >= DeadlineAt)
+      requestInterrupt(InterruptDeadline);
+  }
 
   /// Where `print` output goes; tests capture it, examples print to stdout.
   std::function<void(const std::string &)> PrintHook;
@@ -138,11 +197,20 @@ struct VMContext {
   /// Deterministic Math.random state (xorshift64*).
   uint64_t RandomState;
 
-  void raiseError(const std::string &Msg) {
+  /// Raise a structured error; the first error wins (later raises during
+  /// the unwind are dropped). Plain-message form = ErrorKind::Runtime.
+  void raiseError(ErrorKind Kind, const std::string &Msg, uint32_t Line = 0,
+                  uint32_t Col = 0) {
     if (!HasError) {
       HasError = true;
+      ErrorCode = Kind;
       ErrorMessage = Msg;
+      ErrorLine = Line;
+      ErrorCol = Col;
     }
+  }
+  void raiseError(const std::string &Msg) {
+    raiseError(ErrorKind::Runtime, Msg);
   }
 
   /// Reset every property inline cache in every script (vm/ic.h). Part of
@@ -165,27 +233,32 @@ struct VMContext {
     }
   }
 
-  /// Request a GC at the next safe point by raising the preempt flag.
-  void maybeScheduleGC() {
-    if (TheHeap.wantsGC())
-      PreemptFlag = 1;
+  /// True when a heap quota is configured and allocation exceeds it.
+  bool overHeapQuota() const {
+    return Opts.MaxHeapBytes && TheHeap.bytesAllocated() > Opts.MaxHeapBytes;
   }
 
-  /// Service the preempt flag at a safe point (interpreter loop edge or
-  /// trace exit): run the GC if the heap asked for one.
-  void servicePreempt() {
-    PreemptFlag = 0;
-    if (TheHeap.wantsGC()) {
-      TheHeap.collect();
-      ++Stats.GCs;
-      if (EventListener) {
-        JitEvent E;
-        E.Kind = JitEventKind::GC;
-        E.Arg0 = Stats.GCs;
-        emitEvent(E);
-      }
+  /// Allocation-site hook: request a GC at the next safe point when the
+  /// heap wants one or the quota is exceeded (collection gets first crack
+  /// at freeing garbage; serviceInterrupts re-checks the quota after it
+  /// runs). The HeapAllocFail fault site simulates a collection that cannot
+  /// get under quota by raising the terminal bit directly.
+  void maybeScheduleGC() {
+    if (Opts.FaultInjector && Opts.FaultInjector(FaultSite::HeapAllocFail)) {
+      requestInterrupt(InterruptHeapQuota);
+      return;
     }
+    if (TheHeap.wantsGC() || overHeapQuota())
+      requestInterrupt(InterruptGC);
   }
+
+  /// Service pending interrupt requests at a safe point (interpreter loop
+  /// edge, trace preempt exit, or nested-call abort path). Runs the GC for
+  /// benign requests; for termination requests (deadline / host / heap
+  /// quota) aborts any active recording (forgiven, not blacklisted) and
+  /// raises the matching structured error, leaving the engine fully
+  /// reusable. Defined in vmcontext.cpp (needs TraceMonitor).
+  void serviceInterrupts();
 };
 
 } // namespace tracejit

@@ -2,10 +2,11 @@
 
 #include "serve/server.h"
 
-#include <cassert>
+#include <algorithm>
 #include <chrono>
 
 #include "api/engine.h"
+#include "interp/vmcontext.h"
 #include "jit/compile_queue.h"
 
 namespace tracejit {
@@ -22,6 +23,8 @@ ScriptServer::ScriptServer(const ServerConfig &C) : Cfg(C) {
   if (Cfg.QueueDepth == 0)
     Cfg.QueueDepth = 1;
   WorkerStats.resize(Cfg.Workers);
+  WorkerRecycles.assign(Cfg.Workers, 0);
+  Active.resize(Cfg.Workers);
   if (Cfg.Engine.OffThreadCompile && !Cfg.Engine.SharedCompileService)
     CompileSvc = std::make_unique<CompileService>();
   Threads.reserve(Cfg.Workers);
@@ -32,14 +35,22 @@ ScriptServer::ScriptServer(const ServerConfig &C) : Cfg(C) {
 ScriptServer::~ScriptServer() { stop(); }
 
 uint64_t ScriptServer::submit(std::string Source) {
+  return submit(std::move(Source), Cfg.DeadlineMs);
+}
+
+uint64_t ScriptServer::submit(std::string Source, uint64_t DeadlineMs) {
   uint64_t Id;
   {
     std::unique_lock<std::mutex> L(Mu);
-    assert(!Stopping && "submit after stop");
+    // A stopping/stopped server refuses work instead of corrupting state:
+    // the workers are (being) joined, so the request could never be
+    // served. 0 is never a valid request id.
+    if (Stopping || Stopped)
+      return 0;
     SubmitCv.wait(L, [this] { return Requests.size() < Cfg.QueueDepth; });
     Id = NextId++;
-    Requests.push_back(
-        {Id, std::move(Source), std::chrono::steady_clock::now()});
+    Requests.push_back({Id, std::move(Source),
+                        std::chrono::steady_clock::now(), DeadlineMs});
   }
   WorkCv.notify_one();
   return Id;
@@ -62,7 +73,15 @@ void ScriptServer::stop() {
   WorkCv.notify_all();
   for (std::thread &T : Threads)
     T.join();
-  Stopped = true;
+  {
+    std::lock_guard<std::mutex> L(Mu);
+    Stopped = true;
+    WatchdogStop = true;
+  }
+  WatchdogCv.notify_all();
+  // Workers are joined, so no new watchdog can spawn under our feet.
+  if (Watchdog.joinable())
+    Watchdog.join();
   // The shared compiler dies after every engine that could reference it
   // (engines live on the worker threads just joined).
   CompileSvc.reset();
@@ -75,17 +94,57 @@ std::vector<RequestResult> ScriptServer::takeResults() {
   return Out;
 }
 
+std::vector<uint32_t> ScriptServer::workerRecycles() const {
+  std::lock_guard<std::mutex> L(Mu);
+  return WorkerRecycles;
+}
+
+void ScriptServer::watchdogMain() {
+  std::unique_lock<std::mutex> L(Mu);
+  while (!WatchdogStop) {
+    auto Now = std::chrono::steady_clock::now();
+    auto Next = Now + std::chrono::hours(1);
+    bool AnyOverdue = false;
+    for (ActiveEval &A : Active) {
+      if (!A.Armed)
+        continue;
+      if (A.Deadline <= Now) {
+        // Overdue: raise the termination bit. Keep re-raising on later
+        // passes while the eval stays active -- a benign GC service on the
+        // worker consumes the whole interrupt word and could otherwise
+        // swallow a raise that raced with it.
+        A.Ctx->requestInterrupt(InterruptDeadline);
+        AnyOverdue = true;
+      } else if (A.Deadline < Next) {
+        Next = A.Deadline;
+      }
+    }
+    if (AnyOverdue)
+      Next = std::min(Next, Now + std::chrono::milliseconds(2));
+    WatchdogCv.wait_until(L, Next);
+  }
+}
+
 void ScriptServer::workerMain(uint32_t Index) {
   // The engine is born, used, and destroyed on this thread; nothing inside
-  // it is ever touched from another thread. The only shared machinery is
-  // the compile service, which has its own locking discipline.
+  // it is ever touched from another thread except the atomic interrupt
+  // word (the watchdog's one sanctioned cross-thread signal). The only
+  // other shared machinery is the compile service, which has its own
+  // locking discipline.
   EngineOptions EO = Cfg.Engine;
   if (EO.OffThreadCompile && !EO.SharedCompileService)
     EO.SharedCompileService = CompileSvc.get();
-  Engine E(EO);
 
   std::string Captured;
-  E.setPrintHook([&Captured](const std::string &S) { Captured += S; });
+  auto makeEngine = [&] {
+    auto E = std::make_unique<Engine>(EO);
+    E->setPrintHook([&Captured](const std::string &S) { Captured += S; });
+    return E;
+  };
+  std::unique_ptr<Engine> E = makeEngine();
+
+  VMStats Accum; // Banked counters from recycled engines.
+  uint32_t ConsecFailures = 0;
 
   for (;;) {
     PendingRequest Req;
@@ -97,8 +156,18 @@ void ScriptServer::workerMain(uint32_t Index) {
       Req = std::move(Requests.front());
       Requests.pop_front();
       ++BusyWorkers;
+      if (Req.DeadlineMs) {
+        Active[Index] = {&E->context(),
+                         std::chrono::steady_clock::now() +
+                             std::chrono::milliseconds(Req.DeadlineMs),
+                         true};
+        if (!Watchdog.joinable())
+          Watchdog = std::thread([this] { watchdogMain(); });
+      }
     }
     SubmitCv.notify_one(); // a queue slot freed up
+    if (Req.DeadlineMs)
+      WatchdogCv.notify_all();
 
     RequestResult RR;
     RR.Id = Req.Id;
@@ -106,33 +175,73 @@ void ScriptServer::workerMain(uint32_t Index) {
     auto Start = std::chrono::steady_clock::now();
     RR.QueueMs = msBetween(Req.Submitted, Start);
     Captured.clear();
-    EvalResult ER = E.eval(Req.Source);
+    EvalResult ER = E->eval(Req.Source);
     auto End = std::chrono::steady_clock::now();
     RR.EvalMs = msBetween(Start, End);
     RR.TotalMs = msBetween(Req.Submitted, End);
     RR.Ok = ER.ok();
-    if (!RR.Ok)
+    if (!RR.Ok) {
+      RR.ErrKind = ER.Err.Kind;
+      RR.TimedOut = ER.Err.Kind == ErrorKind::Timeout;
       RR.Error = ER.Err.describe();
+    }
     RR.Output = Captured;
     // Publish any finished compiles now so the next request on this
     // context starts with the freshest trace cache.
-    E.pumpCompileQueue();
+    E->pumpCompileQueue();
+
+    bool Recycle = false;
+    if (!RR.Ok) {
+      ++ConsecFailures;
+      Recycle = RR.ErrKind == ErrorKind::OutOfMemory ||
+                (Cfg.RecycleAfterFailures &&
+                 ConsecFailures >= Cfg.RecycleAfterFailures);
+    } else {
+      ConsecFailures = 0;
+    }
 
     {
       std::lock_guard<std::mutex> L(Mu);
+      Active[Index].Armed = false; // before the engine can be recycled
       Results.push_back(std::move(RR));
-      --BusyWorkers;
+      if (!Recycle)
+        --BusyWorkers;
+    }
+
+    if (Recycle) {
+      // Retire the poisoned engine on its own thread: settle its compile
+      // pipeline, bank its statistics, rebuild from scratch. BusyWorkers
+      // stays held so drain()/stop() wait out the rebuild.
+      uint32_t Failures = ConsecFailures;
+      ConsecFailures = 0;
+      E->waitForCompileQueue();
+      Accum.accumulate(E->stats());
+      E.reset();
+      E = makeEngine();
+      VMContext &NC = E->context();
+      if (NC.EventListener) {
+        JitEvent Ev;
+        Ev.Kind = JitEventKind::EngineRecycled;
+        Ev.Arg0 = Index;
+        Ev.Arg1 = Failures;
+        NC.EventListener->onEvent(Ev);
+      }
+      {
+        std::lock_guard<std::mutex> L(Mu);
+        ++WorkerRecycles[Index];
+        --BusyWorkers;
+      }
     }
     IdleCv.notify_all();
   }
 
   // Settle the compile pipeline before the stats snapshot so queued/
   // published/dropped counters add up for the caller.
-  E.waitForCompileQueue();
-  VMStats Snapshot = E.stats();
+  E->waitForCompileQueue();
+  Accum.accumulate(E->stats());
   {
     std::lock_guard<std::mutex> L(Mu);
-    WorkerStats[Index] = Snapshot;
+    WorkerStats[Index] = Accum;
   }
 }
 

@@ -79,6 +79,8 @@ const char *abortReasonName(AbortReason R) {
     return "compile-queue-full";
   case AbortReason::VerifyFailed:
     return "verify-failed";
+  case AbortReason::Interrupted:
+    return "interrupted";
   case AbortReason::NumReasons:
     break;
   }
@@ -139,6 +141,8 @@ const char *faultSiteName(FaultSite S) {
     return "protect-fail";
   case FaultSite::CompileFail:
     return "compile-fail";
+  case FaultSite::HeapAllocFail:
+    return "heap-alloc-fail";
   }
   return "?";
 }
@@ -181,6 +185,10 @@ const char *jitEventKindName(JitEventKind K) {
     return "CompileJobQueued";
   case JitEventKind::CompileJobDropped:
     return "CompileJobDropped";
+  case JitEventKind::ScriptInterrupted:
+    return "ScriptInterrupted";
+  case JitEventKind::EngineRecycled:
+    return "EngineRecycled";
   case JitEventKind::NumKinds:
     break;
   }
@@ -288,6 +296,16 @@ std::string LogJitEventListener::format(const JitEvent &E) {
   case JitEventKind::CompileJobDropped:
     snprintf(Buf, sizeof(Buf), " job-generation=%" PRIu64 " generation=%" PRIu64,
              E.Arg0, E.Arg1);
+    Out += Buf;
+    break;
+  case JitEventKind::ScriptInterrupted:
+    snprintf(Buf, sizeof(Buf), " bits=0x%" PRIx64 " kind=%" PRIu64, E.Arg0,
+             E.Arg1);
+    Out += Buf;
+    break;
+  case JitEventKind::EngineRecycled:
+    snprintf(Buf, sizeof(Buf), " worker=%" PRIu64 " failures=%" PRIu64, E.Arg0,
+             E.Arg1);
     Out += Buf;
     break;
   default:
@@ -415,6 +433,14 @@ std::string ChromeTraceCollector::renderJson() const {
     case JitEventKind::CompileJobDropped:
       Args += numArg("jobGeneration", E.Arg0, Args.empty());
       Args += numArg("generation", E.Arg1);
+      break;
+    case JitEventKind::ScriptInterrupted:
+      Args += numArg("bits", E.Arg0, Args.empty());
+      Args += numArg("errorKind", E.Arg1);
+      break;
+    case JitEventKind::EngineRecycled:
+      Args += numArg("worker", E.Arg0, Args.empty());
+      Args += numArg("failures", E.Arg1);
       break;
     default:
       break;

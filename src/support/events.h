@@ -85,6 +85,11 @@ enum class AbortReason : uint8_t {
   VerifyFailed,        ///< The verifier rejected the trace; the failed rule
                        ///< is counted in VMStats::VerifyFailuresByRule.
 
+  // --- Resource governance ----------------------------------------------------
+  Interrupted,         ///< The script was terminated (deadline / host
+                       ///< interrupt / heap quota) while recording; the
+                       ///< recording is discarded without blacklisting.
+
   NumReasons
 };
 
@@ -154,6 +159,12 @@ enum class JitEventKind : uint8_t {
   CompileJobDropped,///< A finished/queued compile job was discarded instead
                     ///< of published (stale generation, flush, shutdown).
                     ///< Arg0 = job generation, Arg1 = current generation.
+  ScriptInterrupted,///< A governor terminated the running script at a safe
+                    ///< point. Arg0 = the interrupt bits that were pending,
+                    ///< Arg1 = the resulting ErrorKind raw value.
+  EngineRecycled,   ///< A serving worker destroyed and rebuilt its Engine
+                    ///< (after OOM or too many consecutive failures).
+                    ///< Arg0 = worker index, Arg1 = consecutive failures.
   NumKinds
 };
 

@@ -98,6 +98,15 @@ std::string VMStats::report() const {
              (unsigned long long)EntryDeopts);
     Out += Buf;
   }
+  if (Timeouts || HostInterrupts || HeapQuotaHits || StackOverflows) {
+    snprintf(Buf, sizeof(Buf),
+             "resource governance: timeouts=%llu host-interrupts=%llu "
+             "heap-quota-hits=%llu stack-overflows=%llu\n",
+             (unsigned long long)Timeouts, (unsigned long long)HostInterrupts,
+             (unsigned long long)HeapQuotaHits,
+             (unsigned long long)StackOverflows);
+    Out += Buf;
+  }
   if (TracesVerified || LirInsVerified || VerifyFailures) {
     snprintf(Buf, sizeof(Buf),
              "lir verifier: traces=%llu instructions=%llu failures=%llu\n",

@@ -105,6 +105,12 @@ struct VMStats {
   uint64_t LoopsWithPrologue = 0;    ///< Fragments that gained a prologue.
   uint64_t EntryDeopts = 0;          ///< Hoisted-guard failures at entry.
 
+  // --- Resource governance counters -----------------------------------------
+  uint64_t Timeouts = 0;       ///< Scripts terminated by a deadline.
+  uint64_t HostInterrupts = 0; ///< Scripts terminated by requestInterrupt.
+  uint64_t HeapQuotaHits = 0;  ///< Scripts terminated as OutOfMemory.
+  uint64_t StackOverflows = 0; ///< Frame/stack limit hits.
+
   // --- Figure 12 timers ----------------------------------------------------
   std::array<double, (size_t)Activity::NumActivities> ActivitySeconds{};
 
@@ -133,6 +139,64 @@ struct VMStats {
   }
 
   void reset() { *this = VMStats(); }
+
+  /// Fold another snapshot's counters and timers into this one. The serving
+  /// harness uses this to keep a worker's totals across engine recycles.
+  void accumulate(const VMStats &O) {
+    BytecodesInterpreted += O.BytecodesInterpreted;
+    BytecodesRecorded += O.BytecodesRecorded;
+    BytecodesNative += O.BytecodesNative;
+    TracesStarted += O.TracesStarted;
+    TracesCompleted += O.TracesCompleted;
+    TracesAborted += O.TracesAborted;
+    for (size_t I = 0; I < AbortsByReason.size(); ++I)
+      AbortsByReason[I] += O.AbortsByReason[I];
+    TreesCompiled += O.TreesCompiled;
+    BranchesCompiled += O.BranchesCompiled;
+    SideExits += O.SideExits;
+    TreeCalls += O.TreeCalls;
+    LoopsBlacklisted += O.LoopsBlacklisted;
+    TraceEnters += O.TraceEnters;
+    StitchedTransfers += O.StitchedTransfers;
+    UnstableLinks += O.UnstableLinks;
+    OracleDemotions += O.OracleDemotions;
+    GCs += O.GCs;
+    IcHits += O.IcHits;
+    IcMisses += O.IcMisses;
+    IcInvalidations += O.IcInvalidations;
+    IcMegamorphicSites += O.IcMegamorphicSites;
+    IcRecorderHits += O.IcRecorderHits;
+    CacheFlushes += O.CacheFlushes;
+    CacheBytesReclaimed += O.CacheBytesReclaimed;
+    FragmentsRetired += O.FragmentsRetired;
+    BackendFallbacks += O.BackendFallbacks;
+    ProtectFaults += O.ProtectFaults;
+    JitDisables += O.JitDisables;
+    CompileJobsQueued += O.CompileJobsQueued;
+    CompileJobsPublished += O.CompileJobsPublished;
+    CompileJobsDropped += O.CompileJobsDropped;
+    TracesVerified += O.TracesVerified;
+    LirInsVerified += O.LirInsVerified;
+    VerifyFailures += O.VerifyFailures;
+    for (size_t I = 0; I < VerifyFailuresByRule.size(); ++I)
+      VerifyFailuresByRule[I] += O.VerifyFailuresByRule[I];
+    LirEmitted += O.LirEmitted;
+    LirAfterForwardFilters += O.LirAfterForwardFilters;
+    LirAfterBackwardFilters += O.LirAfterBackwardFilters;
+    GuardsEliminated += O.GuardsEliminated;
+    OverflowChecksFolded += O.OverflowChecksFolded;
+    IdxStrengthReduced += O.IdxStrengthReduced;
+    InsHoisted += O.InsHoisted;
+    GuardsHoisted += O.GuardsHoisted;
+    LoopsWithPrologue += O.LoopsWithPrologue;
+    EntryDeopts += O.EntryDeopts;
+    Timeouts += O.Timeouts;
+    HostInterrupts += O.HostInterrupts;
+    HeapQuotaHits += O.HeapQuotaHits;
+    StackOverflows += O.StackOverflows;
+    for (size_t I = 0; I < ActivitySeconds.size(); ++I)
+      ActivitySeconds[I] += O.ActivitySeconds[I];
+  }
 
   double totalSeconds() const {
     double T = 0;

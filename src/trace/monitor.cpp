@@ -989,7 +989,7 @@ uint32_t TraceMonitorImpl::handleInnerLoopHeader(uint32_t Pc,
 
   if (E->Kind == ExitKind::Preempt) {
     abortRecording(AbortReason::PreemptedInInnerCall, false);
-    Ctx.servicePreempt();
+    Ctx.serviceInterrupts();
     return E->Pc;
   }
   if (!LeftInnerLoop) {
@@ -1008,7 +1008,7 @@ uint32_t TraceMonitorImpl::handleInnerLoopHeader(uint32_t Pc,
 
 void TraceMonitorImpl::handleExit(ExitDescriptor *E) {
   if (E->Kind == ExitKind::Preempt) {
-    Ctx.servicePreempt();
+    Ctx.serviceInterrupts();
     return;
   }
   // Grow the tree at hot side exits (§3.2 "Extending a tree"): only

@@ -63,6 +63,12 @@ public:
       TheOracle.markPolymorphicSite(Key);
   }
   void flushRecorder() override;
+  void abortForInterrupt() override {
+    // Forgiven abort: the loop is fine, the script ran out of budget.
+    // Without blacklist pressure it re-records once the engine is reused.
+    if (Recorder)
+      abortRecording(AbortReason::Interrupted, false);
+  }
   void syncStats() override;
   void collectFragmentProfiles(std::vector<FragmentProfile> &Out) const override;
   void onEvalStart() override { FlushesThisEval = 0; }

@@ -331,5 +331,9 @@ TEST(Interp, DeepRecursionOverflowsGracefully) {
   Engine E(Opts);
   auto R = E.eval("function f(n) { return f(n + 1); } f(0);");
   EXPECT_FALSE(R.ok());
-  EXPECT_NE(R.Err.describe().find("RuntimeError"), std::string::npos);
+  EXPECT_EQ(R.Err.Kind, ErrorKind::StackOverflow);
+  EXPECT_NE(R.Err.describe().find("StackOverflowError"), std::string::npos);
+  EXPECT_NE(R.Err.Message.find("too much recursion"), std::string::npos);
+  // The overflow carries a source position (the recursive call site).
+  EXPECT_GT(R.Err.Line, 0u);
 }
