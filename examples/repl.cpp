@@ -48,6 +48,42 @@ int main(int argc, char **argv) {
   auto E = std::make_unique<Engine>(Opts);
   E->setPrintHook([](const std::string &S) { std::cout << S; });
 
+  // Lint mode (--analyze): parse + static analysis only, no execution.
+  // Exit 1 when any file fails to parse or produces findings, so CI can
+  // gate on a clean report.
+  if (Opts.AnalyzeOnly) {
+    if (Files.empty()) {
+      std::cerr << "--analyze requires at least one script file\n";
+      return 2;
+    }
+    bool AnyFinding = false;
+    for (const std::string &Path : Files) {
+      std::ifstream In(Path);
+      if (!In) {
+        std::cerr << "cannot open " << Path << "\n";
+        return 1;
+      }
+      std::ostringstream Buf;
+      Buf << In.rdbuf();
+      auto Report = E->analyze(Buf.str(), Path);
+      if (!Report.Ok) {
+        std::cerr << Report.Err.describe() << "\n";
+        AnyFinding = true;
+        continue;
+      }
+      for (const AnalysisDiagnostic &D : Report.Diagnostics) {
+        std::cerr << Path << ":" << D.Line << ":" << D.Col
+                  << ": warning: [" << analysisDiagKindName(D.Kind) << "] "
+                  << D.Message;
+        if (!D.Function.empty())
+          std::cerr << " (in function " << D.Function << ")";
+        std::cerr << "\n";
+        AnyFinding = true;
+      }
+    }
+    return AnyFinding ? 1 : 0;
+  }
+
   // Script mode: run each file through the FileName-carrying eval so
   // diagnostics say which script failed, then exit without a prompt.
   if (!Files.empty()) {

@@ -1,11 +1,20 @@
 #!/usr/bin/env python3
-"""Compare a freshly measured BENCH_suite.json against the committed snapshot.
+"""Compare a freshly measured benchmark snapshot against the committed one.
 
-The committed snapshot is the perf-trajectory record: every PR that claims a
-speedup (or must not cost one) regenerates it. CI re-measures the suite and
-fails if the geometric-mean speedup fell more than the threshold below the
-snapshot, so an optimizer or backend change cannot silently give back what
-an earlier PR bought.
+Two snapshot shapes are understood, detected from the document itself:
+
+* The speedup suite (BENCH_suite.json, from fig10_speedup --json): the
+  geomean of per-benchmark speedups gates; per-row deltas are advisory.
+* The serving harness (BENCH_server_throughput.json, from
+  server_throughput --json): every config row gates on both throughput
+  (scripts_per_sec may not drop more than the threshold) and tail latency
+  (p99_ms may not rise more than twice the threshold -- tails are noisier
+  than means on shared runners).
+
+The committed snapshot is the perf-trajectory record: every PR that claims
+a speedup (or must not cost one) regenerates it, and CI re-measures so an
+optimizer or backend change cannot silently give back what an earlier PR
+bought.
 
 Usage:
   check_bench_regression.py BASELINE.json FRESH.json [--threshold 0.10]
@@ -31,29 +40,14 @@ def geomean_speedup(doc):
     raise ValueError("no benchmarks[] rows and no geomean_speedup field")
 
 
-def main():
-    ap = argparse.ArgumentParser()
-    ap.add_argument("baseline")
-    ap.add_argument("fresh")
-    ap.add_argument("--threshold", type=float, default=0.10,
-                    help="allowed fractional geomean drop (default 0.10)")
-    args = ap.parse_args()
-
-    try:
-        with open(args.baseline) as f:
-            base = json.load(f)
-        with open(args.fresh) as f:
-            fresh = json.load(f)
-        base_gm = geomean_speedup(base)
-        fresh_gm = geomean_speedup(fresh)
-    except (OSError, ValueError, KeyError) as e:
-        print(f"error: {e}", file=sys.stderr)
-        return 2
+def check_suite(base, fresh, threshold):
+    base_gm = geomean_speedup(base)
+    fresh_gm = geomean_speedup(fresh)
 
     ratio = fresh_gm / base_gm
     print(f"baseline geomean speedup: {base_gm:.2f}x")
     print(f"fresh geomean speedup:    {fresh_gm:.2f}x")
-    print(f"ratio: {ratio:.3f} (threshold: >= {1 - args.threshold:.3f})")
+    print(f"ratio: {ratio:.3f} (threshold: >= {1 - threshold:.3f})")
 
     # Per-benchmark deltas are advisory: single kernels are noisy on shared
     # CI runners, so only the geomean gates.
@@ -63,17 +57,84 @@ def main():
         if not b or b.get("speedup", 0) <= 0 or r.get("speedup", 0) <= 0:
             continue
         d = r["speedup"] / b["speedup"]
-        marker = "  <-- slower" if d < 1 - args.threshold else ""
+        marker = "  <-- slower" if d < 1 - threshold else ""
         print(f"  {r['name']:28s} {b['speedup']:8.2f}x -> "
               f"{r['speedup']:8.2f}x  ({d:5.3f}){marker}")
 
-    if ratio < 1 - args.threshold:
+    if ratio < 1 - threshold:
         print(f"FAIL: geomean regressed more than "
-              f"{args.threshold * 100:.0f}% vs the committed snapshot",
+              f"{threshold * 100:.0f}% vs the committed snapshot",
               file=sys.stderr)
         return 1
     print("OK: no geomean regression")
     return 0
+
+
+def check_server(base, fresh, threshold):
+    base_cfgs = {c["name"]: c for c in base["configs"]}
+    failures = []
+    for c in fresh["configs"]:
+        b = base_cfgs.get(c["name"])
+        if b is None:
+            print(f"  {c['name']:20s} (new config, not gated)")
+            continue
+        if not c.get("ok", True):
+            failures.append(f"{c['name']}: run reported ok=false")
+            continue
+        tp_ratio = c["scripts_per_sec"] / b["scripts_per_sec"]
+        # The p99 gate is twice as loose as the throughput gate: a single
+        # slow request moves the tail far more than it moves the mean.
+        p99_ratio = c["p99_ms"] / b["p99_ms"] if b["p99_ms"] > 0 else 1.0
+        tp_bad = tp_ratio < 1 - threshold
+        p99_bad = p99_ratio > 1 + 2 * threshold
+        marker = ""
+        if tp_bad:
+            marker = "  <-- throughput regressed"
+            failures.append(
+                f"{c['name']}: scripts_per_sec {b['scripts_per_sec']:.1f} -> "
+                f"{c['scripts_per_sec']:.1f} ({tp_ratio:.3f})")
+        if p99_bad:
+            marker = "  <-- p99 regressed"
+            failures.append(
+                f"{c['name']}: p99_ms {b['p99_ms']:.1f} -> "
+                f"{c['p99_ms']:.1f} ({p99_ratio:.3f})")
+        print(f"  {c['name']:20s} {b['scripts_per_sec']:8.1f} -> "
+              f"{c['scripts_per_sec']:8.1f} scripts/s ({tp_ratio:5.3f})  "
+              f"p99 {b['p99_ms']:7.1f} -> {c['p99_ms']:7.1f} ms "
+              f"({p99_ratio:5.3f}){marker}")
+
+    if failures:
+        print("FAIL: serving configs regressed vs the committed snapshot:",
+              file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print("OK: no serving regression")
+    return 0
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("baseline")
+    ap.add_argument("fresh")
+    ap.add_argument("--threshold", type=float, default=0.10,
+                    help="allowed fractional drop (default 0.10)")
+    args = ap.parse_args()
+
+    try:
+        with open(args.baseline) as f:
+            base = json.load(f)
+        with open(args.fresh) as f:
+            fresh = json.load(f)
+        if ("configs" in base) != ("configs" in fresh):
+            raise ValueError("baseline and fresh snapshots have different "
+                             "shapes (suite vs server)")
+        if "configs" in base:
+            return check_server(base, fresh, args.threshold)
+        return check_suite(base, fresh, args.threshold)
+    except (OSError, ValueError, KeyError, ZeroDivisionError) as e:
+        print(f"error: {e}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

@@ -2,9 +2,12 @@
 
 #include "api/engine.h"
 
+#include <algorithm>
+
 #include "frontend/parser.h"
 #include "interp/natives.h"
 #include "interp/tracehooks.h"
+#include "trace/oracle.h"
 
 namespace tracejit {
 
@@ -102,11 +105,16 @@ EvalResult Engine::eval(std::string_view Source) {
     Monitor->onEvalStart(); // fresh per-eval cache-flush budget
 
   EngineError ParseErr;
+  size_t FirstScript = Ctx.Scripts.size();
   FunctionScript *Top = compileSource(Ctx, Source, &ParseErr);
   if (!Top) {
     R.Err = std::move(ParseErr);
     return R;
   }
+  // Static facts must exist before execution: with HotLoopThreshold=2 the
+  // first recording can start within this very eval.
+  if (Ctx.Opts.StaticAnalysis)
+    analyzeNewScripts(FirstScript);
 
   const bool Deadline = Ctx.Opts.EvalDeadlineMs > 0;
   if (Deadline) {
@@ -146,6 +154,75 @@ EvalResult Engine::eval(std::string_view Source, std::string_view FileName) {
   EvalResult R = eval(Source);
   if (!R.ok())
     R.Err.File = FileName;
+  return R;
+}
+
+void Engine::analyzeNewScripts(size_t FirstScript) {
+  for (size_t I = FirstScript; I < Ctx.Scripts.size(); ++I) {
+    FunctionScript *S = Ctx.Scripts[I].get();
+    if (Ctx.Analyses.count(S))
+      continue;
+    std::unique_ptr<ScriptAnalysis> A = analyzeScript(*S, Ctx.Globals.size());
+    ++Ctx.Stats.AnalysisRuns;
+    Ctx.Stats.AnalysisFacts += A->factCount();
+    Ctx.Stats.AnalysisDiagnostics += A->Diags.size();
+    if (Monitor && A->Converged) {
+      // Seed the oracle before any recording sees this script: proven
+      // int-and-double slots get their §3.2 demotion fact up front, and
+      // statically unbounded property sites never get a doomed first
+      // recording.
+      for (uint32_t G : A->DemoteGlobals) {
+        Monitor->noteStaticDemotion(Oracle::globalKey(G));
+        ++Ctx.Stats.StaticDemotionsSeeded;
+      }
+      for (uint32_t L : A->DemoteLocals) {
+        Monitor->noteStaticDemotion(Oracle::localKey(S->Id, L));
+        ++Ctx.Stats.StaticDemotionsSeeded;
+      }
+      for (uint32_t Pc : A->MegamorphicSites) {
+        Monitor->notePropSite(S->Id, Pc, /*Megamorphic=*/true);
+        ++Ctx.Stats.StaticMegaSeeded;
+      }
+    }
+    if (Ctx.EventListener) {
+      JitEvent E;
+      E.Kind = JitEventKind::AnalysisRan;
+      E.ScriptId = S->Id;
+      E.Arg0 = A->factCount();
+      E.Arg1 = A->Diags.size();
+      Ctx.emitEvent(E);
+    }
+    Ctx.Analyses[S] = std::move(A);
+  }
+}
+
+Engine::AnalysisReport Engine::analyze(std::string_view Source,
+                                       std::string_view FileName) {
+  AnalysisReport R;
+  EngineError ParseErr;
+  size_t FirstScript = Ctx.Scripts.size();
+  FunctionScript *Top = compileSource(Ctx, Source, &ParseErr);
+  if (!Top) {
+    R.Err = std::move(ParseErr);
+    if (!FileName.empty())
+      R.Err.File = FileName;
+    return R;
+  }
+  R.Ok = true;
+  analyzeNewScripts(FirstScript);
+  for (size_t I = FirstScript; I < Ctx.Scripts.size(); ++I) {
+    auto It = Ctx.Analyses.find(Ctx.Scripts[I].get());
+    if (It == Ctx.Analyses.end())
+      continue;
+    for (const AnalysisDiagnostic &D : It->second->Diags)
+      R.Diagnostics.push_back(D);
+  }
+  std::sort(R.Diagnostics.begin(), R.Diagnostics.end(),
+            [](const AnalysisDiagnostic &X, const AnalysisDiagnostic &Y) {
+              if (X.Line != Y.Line)
+                return X.Line < Y.Line;
+              return X.Col < Y.Col;
+            });
   return R;
 }
 

@@ -54,6 +54,24 @@ public:
   /// "file:line:col" diagnostics (what the repl uses for script files).
   EvalResult eval(std::string_view Source, std::string_view FileName);
 
+  /// Result of Engine::analyze: parse + static analysis, no execution.
+  struct AnalysisReport {
+    bool Ok = false;    ///< False = parse error (Err is filled in).
+    EngineError Err;
+    /// Lint findings across every script of the source, ordered by
+    /// line/column. See analysis/analysis.h for the diagnostic taxonomy.
+    std::vector<AnalysisDiagnostic> Diagnostics;
+  };
+
+  /// Lint mode (the repl's `--analyze`): compile \p Source and run the
+  /// bytecode abstract interpreter over every script in it, returning the
+  /// diagnostics instead of executing. Runs even when
+  /// EngineOptions::StaticAnalysis is off (the flag gates the *pipeline*
+  /// consumers, not the explicit request). The compiled scripts stay in
+  /// the context, so a later eval of the same source reuses their facts.
+  AnalysisReport analyze(std::string_view Source,
+                         std::string_view FileName = {});
+
   /// Where `print` output goes (default: stdout).
   void setPrintHook(std::function<void(const std::string &)> Hook);
 
@@ -151,6 +169,11 @@ private:
   /// Point Ctx.EventListener at the mux, or null when no sinks remain, so
   /// the disabled path stays a single null check.
   void refreshListenerGate();
+
+  /// Run the static analyzer over Ctx.Scripts[FirstScript..): cache the
+  /// results, seed the oracle (demotions, megamorphic sites), and emit one
+  /// AnalysisRan event per script.
+  void analyzeNewScripts(size_t FirstScript);
 
   // Deadline timer thread (EvalDeadlineMs): spawned lazily on the first
   // deadline-armed eval, it raises InterruptDeadline at expiry so traces

@@ -38,6 +38,10 @@ constexpr BoolFlag BoolFlags[] = {
     {"--no-oracle", &EngineOptions::EnableOracle, false},
     {"--off-thread-compile", &EngineOptions::OffThreadCompile, true},
     {"--no-off-thread-compile", &EngineOptions::OffThreadCompile, false},
+    {"--static-types", &EngineOptions::StaticAnalysis, true},
+    {"--no-static-types", &EngineOptions::StaticAnalysis, false},
+    {"--analyze", &EngineOptions::AnalyzeOnly, true},
+    {"--validate-static-facts", &EngineOptions::ValidateStaticFacts, true},
 };
 
 /// Parse the value of a "--flag=N" style option; false on bad digits.

@@ -294,6 +294,23 @@ struct EngineOptions {
   /// ErrorKind::StackOverflow ("too much recursion").
   uint32_t MaxFrames = 2048;
 
+  // --- Static analysis (analysis/analysis.h) ----------------------------------
+
+  /// Run the bytecode abstract interpreter on every parsed script and let
+  /// its facts seed the oracle and elide recorder guards. Off restores the
+  /// dynamic-only pipeline bit-for-bit ("--no-static-types").
+  bool StaticAnalysis = true;
+
+  /// Lint mode ("--analyze"): parse + static analysis only, no execution.
+  /// Consumed by the repl; Engine::analyze() is the API surface.
+  bool AnalyzeOnly = false;
+
+  /// Testing: at every interpreted loop header, cross-check live slot
+  /// types against the static header facts (StaticFactChecks /
+  /// StaticFactContradictions counters). The differential fuzz suite runs
+  /// with this on and asserts zero contradictions.
+  bool ValidateStaticFacts = false;
+
   /// Apply one command-line style flag ("--ic", "--no-jit", ...) to this
   /// options struct. The single source of truth for engine flags: the repl
   /// and the bench harness both parse through it. Returns false when the

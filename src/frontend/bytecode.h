@@ -111,6 +111,20 @@ struct OpInfo {
 };
 const OpInfo &opInfo(Op O);
 
+// CFG-shape predicates: the analysis pass (analysis/analysis.h) builds
+// basic blocks from these, so they are the single source of truth for
+// "which ops redirect or end control flow".
+
+/// Ops carrying a u32 absolute branch target at Pc+1.
+inline bool opIsJump(Op O) {
+  return O == Op::Jump || O == Op::JumpIfFalse || O == Op::JumpIfTrue;
+}
+
+/// Ops after which execution never falls through to the next pc.
+inline bool opIsTerminator(Op O) {
+  return O == Op::Jump || O == Op::Return || O == Op::ReturnUndefined;
+}
+
 /// Static description of one loop in a script: the header pc and the
 /// half-open pc range of the loop body (header included). Used by the
 /// monitor to decide whether a pc is still inside the loop being recorded

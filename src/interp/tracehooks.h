@@ -50,6 +50,12 @@ public:
     (void)Megamorphic;
   }
 
+  /// Static-analysis seeding (analysis/analysis.h): a slot is proven
+  /// int-and-double at some loop header, so record the §3.2 demotion fact
+  /// in the oracle before the first recording ever specializes it as int.
+  /// \p Key is an Oracle slot key (globalKey/localKey).
+  virtual void noteStaticDemotion(uint64_t Key) { (void)Key; }
+
   /// Called when the dispatch loop is about to return from the outermost
   /// frame or an error unwinds; any active recording must be aborted.
   virtual void flushRecorder() = 0;

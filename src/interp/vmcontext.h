@@ -19,6 +19,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "analysis/analysis.h"
 #include "api/options.h"
 #include "api/result.h"
 #include "frontend/bytecode.h"
@@ -94,6 +95,20 @@ struct VMContext {
   GlobalTable Globals;
   std::vector<std::unique_ptr<FunctionScript>> Scripts;
   VMStats Stats;
+
+  /// Static analysis results, one per analyzed script (populated by the
+  /// Engine after each parse when Opts.StaticAnalysis is on). Keyed by the
+  /// script's address; entries live exactly as long as the script does.
+  std::unordered_map<const FunctionScript *, std::unique_ptr<ScriptAnalysis>>
+      Analyses;
+
+  /// Facts for \p S, or null when analysis is off / didn't converge.
+  const ScriptAnalysis *analysisOf(const FunctionScript *S) const {
+    auto It = Analyses.find(S);
+    if (It == Analyses.end() || !It->second->Converged)
+      return nullptr;
+    return It->second.get();
+  }
 
   /// Created lazily when the JIT is enabled. Owned by the Engine.
   TraceMonitor *Monitor = nullptr;

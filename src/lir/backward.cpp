@@ -10,7 +10,8 @@ namespace tracejit {
 
 static bool isTarBase(const LIns *Base) { return Base->Op == LOp::ParamTar; }
 
-uint32_t eliminateDeadStores(std::vector<LIns *> &Body, uint32_t NumGlobals) {
+uint32_t eliminateDeadStores(std::vector<LIns *> &Body, uint32_t NumGlobals,
+                             uint32_t EntrySlots) {
   // Determine the slot-domain size.
   uint32_t MaxSlot = 0;
   auto NoteSlot = [&](uint32_t S) {
@@ -18,6 +19,11 @@ uint32_t eliminateDeadStores(std::vector<LIns *> &Body, uint32_t NumGlobals) {
       MaxSlot = S;
   };
   std::vector<uint32_t> TarLoadSlots;
+  // Slots the next iteration can observe without an explicit load: any
+  // exit's writeback reads [0, NumGlobals + Sp) straight from the TAR, so
+  // a store feeding an exit across the backedge is live even though no
+  // load in the body mentions it.
+  uint32_t BackedgeExitSlots = 0;
   for (LIns *I : Body) {
     if (I->isLoad() && isTarBase(I->A)) {
       uint32_t S = (uint32_t)(I->Disp / 8);
@@ -27,8 +33,12 @@ uint32_t eliminateDeadStores(std::vector<LIns *> &Body, uint32_t NumGlobals) {
       NoteSlot((uint32_t)(I->Disp / 8) + 1);
     } else if (I->Exit) {
       NoteSlot(NumGlobals + I->Exit->Sp);
+      if (NumGlobals + I->Exit->Sp > BackedgeExitSlots)
+        BackedgeExitSlots = NumGlobals + I->Exit->Sp;
     } else if (I->Op == LOp::JmpFrag || I->Op == LOp::TreeCall) {
       NoteSlot(I->Target->EntryTypes.size());
+      if (I->Target->EntryTypes.size() > BackedgeExitSlots)
+        BackedgeExitSlots = I->Target->EntryTypes.size();
     }
   }
 
@@ -46,10 +56,15 @@ uint32_t eliminateDeadStores(std::vector<LIns *> &Body, uint32_t NumGlobals) {
     switch (I->Op) {
     case LOp::Loop:
       // The next iteration re-imports everything the trace loads from the
-      // TAR anywhere in its body.
+      // TAR anywhere in its body, and every exit it can take writes back
+      // from the TAR directly -- so the loop-header state (the entry
+      // typemap) must be intact across the backedge. Stack slots above the
+      // header depth are exempt: any exit deep enough to read one is
+      // preceded, in its own iteration, by the pushes that store it.
       for (uint32_t S : TarLoadSlots)
         if (S < Live.size())
           Live[S] = true;
+      LiveRange(EntrySlots != UINT32_MAX ? EntrySlots : BackedgeExitSlots);
       break;
     case LOp::JmpFrag:
       // The target fragment imports from its whole entry type map.

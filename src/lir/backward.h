@@ -34,7 +34,13 @@ struct BackwardFilterResult {
 
 /// Remove dead TAR stores. \p NumGlobals sizes the globals area of the
 /// type-map slot domain (exit liveness is [0, NumGlobals + exit->Sp)).
-uint32_t eliminateDeadStores(std::vector<LIns *> &Body, uint32_t NumGlobals);
+/// \p EntrySlots is the loop-header state size (the fragment's entry
+/// typemap length): those slots stay live across the backedge because a
+/// next-iteration side exit writes them back straight from the TAR. Pass
+/// UINT32_MAX when unknown; the filter then keeps the widest exit range
+/// live at the backedge instead.
+uint32_t eliminateDeadStores(std::vector<LIns *> &Body, uint32_t NumGlobals,
+                             uint32_t EntrySlots = UINT32_MAX);
 
 /// Remove instructions whose results are unused and that have no side
 /// effects.

@@ -682,7 +682,8 @@ OptResult optimizeTrace(Fragment &F, const OptPipeline &Passes,
 
   // The paper's §5.1 backward filters, unchanged (the -O0 pipeline).
   if (Passes.has(OptPass::DeadStore))
-    eliminateDeadStores(F.Body, NumGlobals);
+    eliminateDeadStores(F.Body, NumGlobals,
+                        (uint32_t)F.EntryTypes.size());
   if (Stats)
     Stats->LirAfterForwardFilters += F.Body.size();
   if (Passes.has(OptPass::Dce))

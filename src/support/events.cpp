@@ -11,124 +11,153 @@
 
 namespace tracejit {
 
+// --- Name tables ---------------------------------------------------------------
+//
+// Each enum's names live in one X-macro list. The static_asserts below pin
+// both the count (a new enumerator without a name entry fails to compile)
+// and the position (a reordered entry fails to compile), so a name can
+// never silently print as "?". tests/test_name_tables.cpp re-checks the
+// same properties at runtime across the public lookup functions.
+
+#define TJ_FOR_EACH_ABORT_REASON(M)                                            \
+  M(None, "none")                                                              \
+  M(UntrackedSlot, "untracked-slot")                                           \
+  M(NonNumericArith, "non-numeric-arith")                                      \
+  M(MixedConcat, "mixed-concat")                                               \
+  M(UntraceableCompare, "untraceable-compare")                                 \
+  M(NonNumericBitop, "non-numeric-bitop")                                      \
+  M(NonNumericIndex, "non-numeric-index")                                      \
+  M(PropOnPrimitive, "prop-on-primitive")                                      \
+  M(PropAddsSlot, "prop-adds-slot")                                            \
+  M(UnknownStringProp, "unknown-string-prop")                                  \
+  M(ElemOnNonArray, "elem-on-non-array")                                       \
+  M(InitPropOnNonObject, "initprop-on-non-object")                             \
+  M(MegamorphicSite, "megamorphic-site")                                       \
+  M(RecursiveCall, "recursive-call")                                           \
+  M(InlineDepthLimit, "inline-depth-limit")                                    \
+  M(CallOfNonFunction, "call-of-non-function")                                 \
+  M(UntraceableNative, "untraceable-native")                                   \
+  M(UnsupportedReceiver, "unsupported-receiver")                               \
+  M(ReturnBelowEntryFrame, "return-below-entry-frame")                         \
+  M(TraceTooLong, "trace-too-long")                                            \
+  M(UnsupportedBytecode, "unsupported-bytecode")                               \
+  M(NestingDisabled, "nesting-disabled")                                       \
+  M(InnerTreeNotReady, "inner-tree-not-ready")                                 \
+  M(InnerTreeSideExit, "inner-tree-side-exit")                                 \
+  M(PreemptedInInnerCall, "preempted-in-inner-call")                           \
+  M(DispatchUnwound, "dispatch-unwound")                                       \
+  M(TypecheckFailed, "typecheck-failed")                                       \
+  M(CompilePoolExhausted, "compile-pool-exhausted")                            \
+  M(CompileOverflow, "compile-overflow")                                       \
+  M(CompileUnsupported, "compile-unsupported")                                 \
+  M(CompileFault, "compile-fault")                                             \
+  M(CompileQueueFull, "compile-queue-full")                                    \
+  M(VerifyFailed, "verify-failed")                                             \
+  M(Interrupted, "interrupted")
+
+#define TJ_FOR_EACH_VERIFY_RULE(M)                                             \
+  M(None, "none")                                                              \
+  M(MissingOperand, "missing-operand")                                         \
+  M(UseBeforeDef, "use-before-def")                                            \
+  M(DanglingOperand, "dangling-operand")                                       \
+  M(OperandType, "operand-type")                                               \
+  M(ResultType, "result-type")                                                 \
+  M(CallSignature, "call-signature")                                           \
+  M(GuardWithoutExit, "guard-without-exit")                                    \
+  M(ShiftCountNotImm, "shift-count-not-imm")                                   \
+  M(TarAddressing, "tar-addressing")                                           \
+  M(ExitTypeMapLength, "exit-type-map-length")                                 \
+  M(ExitFrameBounds, "exit-frame-bounds")                                      \
+  M(TransferTarget, "transfer-target")                                         \
+  M(TreeCallTypeMaps, "tree-call-type-maps")                                   \
+  M(Terminator, "terminator")                                                  \
+  M(PrologueShape, "prologue-shape")                                           \
+  M(PrologueEffect, "prologue-effect")                                         \
+  M(PrologueExit, "prologue-exit")
+
+#define TJ_FOR_EACH_JIT_EVENT_KIND(M)                                          \
+  M(LoopHot, "LoopHot")                                                        \
+  M(RecordStart, "RecordStart")                                                \
+  M(RecordAbort, "RecordAbort")                                                \
+  M(TreeCompiled, "TreeCompiled")                                              \
+  M(BranchCompiled, "BranchCompiled")                                          \
+  M(SideExit, "SideExit")                                                      \
+  M(Blacklisted, "Blacklisted")                                                \
+  M(TreeCall, "TreeCall")                                                      \
+  M(StitchedTransfer, "StitchedTransfer")                                      \
+  M(GC, "GC")                                                                  \
+  M(CacheFlush, "CacheFlush")                                                  \
+  M(FragmentRetired, "FragmentRetired")                                        \
+  M(JitDisabled, "JitDisabled")                                                \
+  M(BackendFallback, "BackendFallback")                                        \
+  M(IcTransition, "IcTransition")                                              \
+  M(IcInvalidateAll, "IcInvalidateAll")                                        \
+  M(CompileJobQueued, "CompileJobQueued")                                      \
+  M(CompileJobDropped, "CompileJobDropped")                                    \
+  M(ScriptInterrupted, "ScriptInterrupted")                                    \
+  M(EngineRecycled, "EngineRecycled")                                          \
+  M(AnalysisRan, "AnalysisRan")
+
+namespace {
+
+#define TJ_NAME_ENTRY(N, S) S,
+constexpr const char *AbortReasonNames[] = {
+    TJ_FOR_EACH_ABORT_REASON(TJ_NAME_ENTRY)};
+constexpr const char *VerifyRuleNames[] = {
+    TJ_FOR_EACH_VERIFY_RULE(TJ_NAME_ENTRY)};
+constexpr const char *JitEventKindNames[] = {
+    TJ_FOR_EACH_JIT_EVENT_KIND(TJ_NAME_ENTRY)};
+#undef TJ_NAME_ENTRY
+
+static_assert(sizeof(AbortReasonNames) / sizeof(const char *) ==
+                  (size_t)AbortReason::NumReasons,
+              "AbortReason gained a value without a name-table entry");
+static_assert(sizeof(VerifyRuleNames) / sizeof(const char *) ==
+                  (size_t)VerifyRule::NumRules,
+              "VerifyRule gained a value without a name-table entry");
+static_assert(sizeof(JitEventKindNames) / sizeof(const char *) ==
+                  (size_t)JitEventKind::NumKinds,
+              "JitEventKind gained a value without a name-table entry");
+
+// Positional checks: each list entry must sit at its enumerator's index.
+#define TJ_IDX_ENTRY(N, S) Idx_##N,
+enum : size_t { TJ_FOR_EACH_ABORT_REASON(TJ_IDX_ENTRY) };
+#undef TJ_IDX_ENTRY
+#define TJ_IDX_CHECK(N, S)                                                     \
+  static_assert(Idx_##N == (size_t)AbortReason::N,                             \
+                "AbortReason name-table order mismatch: " #N);
+TJ_FOR_EACH_ABORT_REASON(TJ_IDX_CHECK)
+#undef TJ_IDX_CHECK
+
+#define TJ_IDX_ENTRY(N, S) RuleIdx_##N,
+enum : size_t { TJ_FOR_EACH_VERIFY_RULE(TJ_IDX_ENTRY) };
+#undef TJ_IDX_ENTRY
+#define TJ_IDX_CHECK(N, S)                                                     \
+  static_assert(RuleIdx_##N == (size_t)VerifyRule::N,                          \
+                "VerifyRule name-table order mismatch: " #N);
+TJ_FOR_EACH_VERIFY_RULE(TJ_IDX_CHECK)
+#undef TJ_IDX_CHECK
+
+#define TJ_IDX_ENTRY(N, S) KindIdx_##N,
+enum : size_t { TJ_FOR_EACH_JIT_EVENT_KIND(TJ_IDX_ENTRY) };
+#undef TJ_IDX_ENTRY
+#define TJ_IDX_CHECK(N, S)                                                     \
+  static_assert(KindIdx_##N == (size_t)JitEventKind::N,                        \
+                "JitEventKind name-table order mismatch: " #N);
+TJ_FOR_EACH_JIT_EVENT_KIND(TJ_IDX_CHECK)
+#undef TJ_IDX_CHECK
+
+} // namespace
+
 const char *abortReasonName(AbortReason R) {
-  switch (R) {
-  case AbortReason::None:
-    return "none";
-  case AbortReason::UntrackedSlot:
-    return "untracked-slot";
-  case AbortReason::NonNumericArith:
-    return "non-numeric-arith";
-  case AbortReason::MixedConcat:
-    return "mixed-concat";
-  case AbortReason::UntraceableCompare:
-    return "untraceable-compare";
-  case AbortReason::NonNumericBitop:
-    return "non-numeric-bitop";
-  case AbortReason::NonNumericIndex:
-    return "non-numeric-index";
-  case AbortReason::PropOnPrimitive:
-    return "prop-on-primitive";
-  case AbortReason::PropAddsSlot:
-    return "prop-adds-slot";
-  case AbortReason::UnknownStringProp:
-    return "unknown-string-prop";
-  case AbortReason::ElemOnNonArray:
-    return "elem-on-non-array";
-  case AbortReason::InitPropOnNonObject:
-    return "initprop-on-non-object";
-  case AbortReason::MegamorphicSite:
-    return "megamorphic-site";
-  case AbortReason::RecursiveCall:
-    return "recursive-call";
-  case AbortReason::InlineDepthLimit:
-    return "inline-depth-limit";
-  case AbortReason::CallOfNonFunction:
-    return "call-of-non-function";
-  case AbortReason::UntraceableNative:
-    return "untraceable-native";
-  case AbortReason::UnsupportedReceiver:
-    return "unsupported-receiver";
-  case AbortReason::ReturnBelowEntryFrame:
-    return "return-below-entry-frame";
-  case AbortReason::TraceTooLong:
-    return "trace-too-long";
-  case AbortReason::UnsupportedBytecode:
-    return "unsupported-bytecode";
-  case AbortReason::NestingDisabled:
-    return "nesting-disabled";
-  case AbortReason::InnerTreeNotReady:
-    return "inner-tree-not-ready";
-  case AbortReason::InnerTreeSideExit:
-    return "inner-tree-side-exit";
-  case AbortReason::PreemptedInInnerCall:
-    return "preempted-in-inner-call";
-  case AbortReason::DispatchUnwound:
-    return "dispatch-unwound";
-  case AbortReason::TypecheckFailed:
-    return "typecheck-failed";
-  case AbortReason::CompilePoolExhausted:
-    return "compile-pool-exhausted";
-  case AbortReason::CompileOverflow:
-    return "compile-overflow";
-  case AbortReason::CompileUnsupported:
-    return "compile-unsupported";
-  case AbortReason::CompileFault:
-    return "compile-fault";
-  case AbortReason::CompileQueueFull:
-    return "compile-queue-full";
-  case AbortReason::VerifyFailed:
-    return "verify-failed";
-  case AbortReason::Interrupted:
-    return "interrupted";
-  case AbortReason::NumReasons:
-    break;
-  }
-  return "?";
+  return (size_t)R < (size_t)AbortReason::NumReasons
+             ? AbortReasonNames[(size_t)R]
+             : "?";
 }
 
 const char *verifyRuleName(VerifyRule R) {
-  switch (R) {
-  case VerifyRule::None:
-    return "none";
-  case VerifyRule::MissingOperand:
-    return "missing-operand";
-  case VerifyRule::UseBeforeDef:
-    return "use-before-def";
-  case VerifyRule::DanglingOperand:
-    return "dangling-operand";
-  case VerifyRule::OperandType:
-    return "operand-type";
-  case VerifyRule::ResultType:
-    return "result-type";
-  case VerifyRule::CallSignature:
-    return "call-signature";
-  case VerifyRule::GuardWithoutExit:
-    return "guard-without-exit";
-  case VerifyRule::ShiftCountNotImm:
-    return "shift-count-not-imm";
-  case VerifyRule::TarAddressing:
-    return "tar-addressing";
-  case VerifyRule::ExitTypeMapLength:
-    return "exit-type-map-length";
-  case VerifyRule::ExitFrameBounds:
-    return "exit-frame-bounds";
-  case VerifyRule::TransferTarget:
-    return "transfer-target";
-  case VerifyRule::TreeCallTypeMaps:
-    return "tree-call-type-maps";
-  case VerifyRule::Terminator:
-    return "terminator";
-  case VerifyRule::PrologueShape:
-    return "prologue-shape";
-  case VerifyRule::PrologueEffect:
-    return "prologue-effect";
-  case VerifyRule::PrologueExit:
-    return "prologue-exit";
-  case VerifyRule::NumRules:
-    break;
-  }
-  return "?";
+  return (size_t)R < (size_t)VerifyRule::NumRules ? VerifyRuleNames[(size_t)R]
+                                                  : "?";
 }
 
 const char *faultSiteName(FaultSite S) {
@@ -148,51 +177,9 @@ const char *faultSiteName(FaultSite S) {
 }
 
 const char *jitEventKindName(JitEventKind K) {
-  switch (K) {
-  case JitEventKind::LoopHot:
-    return "LoopHot";
-  case JitEventKind::RecordStart:
-    return "RecordStart";
-  case JitEventKind::RecordAbort:
-    return "RecordAbort";
-  case JitEventKind::TreeCompiled:
-    return "TreeCompiled";
-  case JitEventKind::BranchCompiled:
-    return "BranchCompiled";
-  case JitEventKind::SideExit:
-    return "SideExit";
-  case JitEventKind::Blacklisted:
-    return "Blacklisted";
-  case JitEventKind::TreeCall:
-    return "TreeCall";
-  case JitEventKind::StitchedTransfer:
-    return "StitchedTransfer";
-  case JitEventKind::GC:
-    return "GC";
-  case JitEventKind::CacheFlush:
-    return "CacheFlush";
-  case JitEventKind::FragmentRetired:
-    return "FragmentRetired";
-  case JitEventKind::JitDisabled:
-    return "JitDisabled";
-  case JitEventKind::BackendFallback:
-    return "BackendFallback";
-  case JitEventKind::IcTransition:
-    return "IcTransition";
-  case JitEventKind::IcInvalidateAll:
-    return "IcInvalidateAll";
-  case JitEventKind::CompileJobQueued:
-    return "CompileJobQueued";
-  case JitEventKind::CompileJobDropped:
-    return "CompileJobDropped";
-  case JitEventKind::ScriptInterrupted:
-    return "ScriptInterrupted";
-  case JitEventKind::EngineRecycled:
-    return "EngineRecycled";
-  case JitEventKind::NumKinds:
-    break;
-  }
-  return "?";
+  return (size_t)K < (size_t)JitEventKind::NumKinds
+             ? JitEventKindNames[(size_t)K]
+             : "?";
 }
 
 // --- JitEventMux ---------------------------------------------------------------
@@ -306,6 +293,11 @@ std::string LogJitEventListener::format(const JitEvent &E) {
   case JitEventKind::EngineRecycled:
     snprintf(Buf, sizeof(Buf), " worker=%" PRIu64 " failures=%" PRIu64, E.Arg0,
              E.Arg1);
+    Out += Buf;
+    break;
+  case JitEventKind::AnalysisRan:
+    snprintf(Buf, sizeof(Buf), " facts=%" PRIu64 " diagnostics=%" PRIu64,
+             E.Arg0, E.Arg1);
     Out += Buf;
     break;
   default:
@@ -441,6 +433,10 @@ std::string ChromeTraceCollector::renderJson() const {
     case JitEventKind::EngineRecycled:
       Args += numArg("worker", E.Arg0, Args.empty());
       Args += numArg("failures", E.Arg1);
+      break;
+    case JitEventKind::AnalysisRan:
+      Args += numArg("facts", E.Arg0, Args.empty());
+      Args += numArg("diagnostics", E.Arg1);
       break;
     default:
       break;

@@ -165,6 +165,9 @@ enum class JitEventKind : uint8_t {
   EngineRecycled,   ///< A serving worker destroyed and rebuilt its Engine
                     ///< (after OOM or too many consecutive failures).
                     ///< Arg0 = worker index, Arg1 = consecutive failures.
+  AnalysisRan,      ///< The static analyzer processed a parsed script
+                    ///< (analysis/analysis.h). Arg0 = published fact count,
+                    ///< Arg1 = diagnostic count.
   NumKinds
 };
 

@@ -107,6 +107,22 @@ std::string VMStats::report() const {
              (unsigned long long)StackOverflows);
     Out += Buf;
   }
+  if (AnalysisRuns || StaticGuardsElided || StaticDemotionsSeeded ||
+      StaticMegaSeeded || StaticFactChecks) {
+    snprintf(Buf, sizeof(Buf),
+             "static analysis: runs=%llu facts=%llu diagnostics=%llu "
+             "guards-elided=%llu demotions-seeded=%llu mega-seeded=%llu "
+             "fact-checks=%llu contradictions=%llu\n",
+             (unsigned long long)AnalysisRuns,
+             (unsigned long long)AnalysisFacts,
+             (unsigned long long)AnalysisDiagnostics,
+             (unsigned long long)StaticGuardsElided,
+             (unsigned long long)StaticDemotionsSeeded,
+             (unsigned long long)StaticMegaSeeded,
+             (unsigned long long)StaticFactChecks,
+             (unsigned long long)StaticFactContradictions);
+    Out += Buf;
+  }
   if (TracesVerified || LirInsVerified || VerifyFailures) {
     snprintf(Buf, sizeof(Buf),
              "lir verifier: traces=%llu instructions=%llu failures=%llu\n",

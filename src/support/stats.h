@@ -111,6 +111,16 @@ struct VMStats {
   uint64_t HeapQuotaHits = 0;  ///< Scripts terminated as OutOfMemory.
   uint64_t StackOverflows = 0; ///< Frame/stack limit hits.
 
+  // --- Static analysis counters (analysis/analysis.h) -------------------------
+  uint64_t AnalysisRuns = 0;         ///< Scripts analyzed.
+  uint64_t AnalysisFacts = 0;        ///< Published facts, summed over scripts.
+  uint64_t AnalysisDiagnostics = 0;  ///< Lint findings, summed over scripts.
+  uint64_t StaticGuardsElided = 0;   ///< Recorder guards proven redundant.
+  uint64_t StaticDemotionsSeeded = 0; ///< Oracle demotion facts pre-seeded.
+  uint64_t StaticMegaSeeded = 0;      ///< Property sites pre-marked megamorphic.
+  uint64_t StaticFactChecks = 0; ///< ValidateStaticFacts slot comparisons.
+  uint64_t StaticFactContradictions = 0; ///< ... that failed (must stay 0).
+
   // --- Figure 12 timers ----------------------------------------------------
   std::array<double, (size_t)Activity::NumActivities> ActivitySeconds{};
 
@@ -194,6 +204,14 @@ struct VMStats {
     HostInterrupts += O.HostInterrupts;
     HeapQuotaHits += O.HeapQuotaHits;
     StackOverflows += O.StackOverflows;
+    AnalysisRuns += O.AnalysisRuns;
+    AnalysisFacts += O.AnalysisFacts;
+    AnalysisDiagnostics += O.AnalysisDiagnostics;
+    StaticGuardsElided += O.StaticGuardsElided;
+    StaticDemotionsSeeded += O.StaticDemotionsSeeded;
+    StaticMegaSeeded += O.StaticMegaSeeded;
+    StaticFactChecks += O.StaticFactChecks;
+    StaticFactContradictions += O.StaticFactContradictions;
     for (size_t I = 0; I < ActivitySeconds.size(); ++I)
       ActivitySeconds[I] += O.ActivitySeconds[I];
   }

@@ -62,6 +62,7 @@ public:
     else
       TheOracle.markPolymorphicSite(Key);
   }
+  void noteStaticDemotion(uint64_t Key) override { TheOracle.markDemote(Key); }
   void flushRecorder() override;
   void abortForInterrupt() override {
     // Forgiven abort: the loop is fine, the script ran out of budget.

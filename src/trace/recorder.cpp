@@ -437,6 +437,24 @@ void TraceRecorder::recordArith(Op O, uint32_t Pc) {
         IntPath = false;
     }
     if (IntPath) {
+      bool ProvedNoOverflow = false;
+      if (Ctx.Opts.StaticAnalysis) {
+        // Interval analysis may have proven the int32 result cannot
+        // overflow on any execution reaching this pc; then the checked
+        // form is pure overhead.
+        if (const ScriptAnalysis *SA = Ctx.analysisOf(script()))
+          ProvedNoOverflow = SA->NoOverflow.count(Pc) != 0;
+      }
+      if (ProvedNoOverflow) {
+        LOp Plain = O == Op::Add   ? LOp::AddI
+                    : O == Op::Sub ? LOp::SubI
+                                   : LOp::MulI;
+        LIns *R = W->ins2(Plain, A.Ins, B.Ins);
+        ++Ctx.Stats.StaticGuardsElided;
+        VSp -= 2;
+        push(R, TraceType::Int);
+        return;
+      }
       LOp Ov = O == Op::Add   ? LOp::AddOvI
                : O == Op::Sub ? LOp::SubOvI
                               : LOp::MulOvI;
@@ -445,6 +463,13 @@ void TraceRecorder::recordArith(Op O, uint32_t Pc) {
       VSp -= 2;
       push(R, TraceType::Int);
     } else {
+      if (Ctx.Opts.StaticAnalysis) {
+        // A NoOverflow fact with a live overflowing execution means the
+        // analysis is wrong; surface it rather than silently diverge.
+        if (const ScriptAnalysis *SA = Ctx.analysisOf(script()))
+          if (isIntLike(A.Ty) && isIntLike(B.Ty) && SA->NoOverflow.count(Pc))
+            ++Ctx.Stats.StaticFactContradictions;
+      }
       LOp Dop = O == Op::Add   ? LOp::AddD
                 : O == Op::Sub ? LOp::SubD
                                : LOp::MulD;
@@ -658,6 +683,24 @@ void TraceRecorder::recordBranch(Op O, uint32_t Pc) {
   --VSp;
   if (T->Op == LOp::ImmI)
     return; // statically known: no divergence possible
+  if (Ctx.Opts.StaticAnalysis) {
+    // The abstract interpreter may have proven this branch single-sided
+    // over every execution; if so the guard can never fire and is dead
+    // weight on the trace.
+    if (const ScriptAnalysis *A = Ctx.analysisOf(script())) {
+      auto It = A->BranchConst.find(Pc);
+      if (It != A->BranchConst.end()) {
+        if (It->second == ActualTruthy) {
+          ++Ctx.Stats.StaticGuardsElided;
+          (void)O;
+          return;
+        }
+        // Fact contradicts the live value: the fact is wrong. Record the
+        // guard as usual; the validator counter makes the bug visible.
+        ++Ctx.Stats.StaticFactContradictions;
+      }
+    }
+  }
   VSp++; // restore for the snapshot
   ExitDescriptor *E = snapshot(ExitKind::Branch, Pc);
   VSp--;

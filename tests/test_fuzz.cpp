@@ -155,5 +155,34 @@ TEST_P(FuzzDifferential, InterpreterAndJitAgree) {
   EXPECT_EQ(I, X) << "seed " << Seed << "\nprogram:\n" << Src;
 }
 
+// The abstract interpreter's published facts must never contradict what
+// actually happens at runtime. ValidateStaticFacts re-checks every header
+// fact against live values on each loop-header crossing, and the recorder
+// counts a contradiction whenever an elidable fact disagrees with the
+// recorded type. Any nonzero count is an analysis soundness bug, and under
+// the JIT an unsound fact would also surface as a wrong answer -- so this
+// leg runs the same differential comparison with validation armed.
+TEST_P(FuzzDifferential, StaticFactsNeverContradictRuntime) {
+  uint64_t Seed = GetParam();
+  std::string Src = generateProgram(Seed);
+  std::string Outs[2];
+  for (int Jit = 0; Jit < 2; ++Jit) {
+    EngineOptions O;
+    O.EnableJit = Jit != 0;
+    O.ValidateStaticFacts = true;
+    O.CollectStats = true;
+    O.VerifyLir = Jit != 0;
+    Engine E(O);
+    E.setPrintHook([&](const std::string &S) { Outs[Jit] += S; });
+    auto R = E.eval(Src);
+    ASSERT_TRUE(R.ok()) << "seed " << Seed << ": " << R.Err.describe();
+    EXPECT_EQ(E.stats().StaticFactContradictions, 0u)
+        << "seed " << Seed << " jit=" << Jit << "\nprogram:\n" << Src;
+    if (Jit)
+      EXPECT_EQ(E.stats().VerifyFailures, 0u) << "program:\n" << Src;
+  }
+  EXPECT_EQ(Outs[0], Outs[1]) << "seed " << Seed << "\nprogram:\n" << Src;
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzDifferential,
                          ::testing::Range<uint64_t>(1, 120));

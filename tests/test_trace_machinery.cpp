@@ -126,13 +126,16 @@ TEST(Oracle, DemotesFlipFloppingVariables) {
   // s flips from int to double during the very iteration being recorded
   // (i == 1 is the recording iteration at threshold 2): the trace closes
   // type-unstable, the oracle notes the mis-speculation, and the retrace
-  // enters with s demoted to double (§3.2).
+  // enters with s demoted to double (§3.2). Static analysis off: it would
+  // seed the demotion up front, and this test pins the runtime path.
+  EngineOptions DemoteOpts = jit();
+  DemoteOpts.StaticAnalysis = false;
   RunInfo R = runWith("var s = 0;\n"
                       "for (var i = 0; i < 2000; ++i) {\n"
                       "  if (i == 1) s = s + 0.5; else s = s + 1;\n"
                       "}\n"
                       "print(s);",
-                      jit());
+                      DemoteOpts);
   EXPECT_EQ(R.Out, "1999.5\n");
   EXPECT_GE(R.Stats.OracleDemotions, 1u);
   EXPECT_GE(R.Stats.TraceEnters, 1u);
