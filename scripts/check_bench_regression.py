@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Compare a freshly measured benchmark snapshot against the committed one.
 
-Two snapshot shapes are understood, detected from the document itself:
+Three snapshot shapes are understood, detected from the document itself:
 
 * The speedup suite (BENCH_suite.json, from fig10_speedup --json): the
   geomean of per-benchmark speedups gates; per-row deltas are advisory.
@@ -10,6 +10,10 @@ Two snapshot shapes are understood, detected from the document itself:
   (scripts_per_sec may not drop more than the threshold) and tail latency
   (p99_ms may not rise more than twice the threshold -- tails are noisier
   than means on shared runners).
+* The tier-hostile kernels (BENCH_tier_hostile.json, from
+  tier_hostile --json): each kernel row gates on hybrid_speedup vs the
+  committed snapshot, and the megamorphic/unbiased-branch rows also gate
+  on the absolute 2x acceptance floor from the tier PR.
 
 The committed snapshot is the perf-trajectory record: every PR that claims
 a speedup (or must not cost one) regenerates it, and CI re-measures so an
@@ -70,6 +74,43 @@ def check_suite(base, fresh, threshold):
     return 0
 
 
+def check_tier_hostile(base, fresh, threshold):
+    base_rows = {k["name"]: k for k in base["kernels"]}
+    failures = []
+    for k in fresh["kernels"]:
+        b = base_rows.get(k["name"])
+        if b is None:
+            print(f"  {k['name']:20s} (new kernel, not gated)")
+            continue
+        ratio = (k["hybrid_speedup"] / b["hybrid_speedup"]
+                 if b["hybrid_speedup"] > 0 else 1.0)
+        marker = ""
+        if ratio < 1 - threshold:
+            marker = "  <-- hybrid speedup regressed"
+            failures.append(
+                f"{k['name']}: hybrid_speedup {b['hybrid_speedup']:.2f}x -> "
+                f"{k['hybrid_speedup']:.2f}x ({ratio:.3f})")
+        # The absolute acceptance floor: the kernels the tier exists for
+        # must stay >= 2x the interpreter, regardless of the baseline.
+        if k["name"] in ("megamorphic", "unbiased-branch") and \
+                k["hybrid_speedup"] < 2.0:
+            marker = "  <-- below the 2x acceptance floor"
+            failures.append(
+                f"{k['name']}: hybrid_speedup {k['hybrid_speedup']:.2f}x "
+                f"is below the 2x floor")
+        print(f"  {k['name']:20s} {b['hybrid_speedup']:8.2f}x -> "
+              f"{k['hybrid_speedup']:8.2f}x ({ratio:5.3f}){marker}")
+
+    if failures:
+        print("FAIL: tier-hostile kernels regressed vs the committed "
+              "snapshot:", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print("OK: no tier-hostile regression")
+    return 0
+
+
 def check_server(base, fresh, threshold):
     base_cfgs = {c["name"]: c for c in base["configs"]}
     failures = []
@@ -126,11 +167,19 @@ def main():
             base = json.load(f)
         with open(args.fresh) as f:
             fresh = json.load(f)
-        if ("configs" in base) != ("configs" in fresh):
+        def shape(doc):
+            if "configs" in doc:
+                return "server"
+            if "kernels" in doc:
+                return "tier_hostile"
+            return "suite"
+        if shape(base) != shape(fresh):
             raise ValueError("baseline and fresh snapshots have different "
-                             "shapes (suite vs server)")
-        if "configs" in base:
+                             "shapes (suite vs server vs tier_hostile)")
+        if shape(base) == "server":
             return check_server(base, fresh, args.threshold)
+        if shape(base) == "tier_hostile":
+            return check_tier_hostile(base, fresh, args.threshold)
         return check_suite(base, fresh, args.threshold)
     except (OSError, ValueError, KeyError, ZeroDivisionError) as e:
         print(f"error: {e}", file=sys.stderr)

@@ -272,6 +272,12 @@ std::vector<FragmentProfile> Engine::fragmentProfiles() const {
   return Out;
 }
 
+Tier Engine::tierOf(uint32_t ScriptId, uint16_t LoopId) const {
+  if (!Monitor)
+    return Tier::Interpreter; // JIT off: everything interprets
+  return (Tier)Monitor->tierOfLoop(ScriptId, LoopId);
+}
+
 bool Engine::exportTraceEvents(const std::string &Path) const {
   if (!TraceCapture)
     return false;

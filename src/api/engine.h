@@ -34,6 +34,7 @@
 #include "interp/tracehooks.h"
 #include "interp/vmcontext.h"
 #include "support/events.h"
+#include "trace/tier.h"
 
 namespace tracejit {
 
@@ -99,8 +100,16 @@ public:
 
   /// Per-fragment telemetry snapshot for every fragment in the trace
   /// cache: enters, iterations, per-guard side-exit histogram, LIR sizes
-  /// before/after filters, native code bytes. Empty when the JIT is off.
+  /// before/after filters, native code bytes. Each profile carries its
+  /// tier attribution (IsMethod/TierName). Empty when the JIT is off.
   std::vector<FragmentProfile> fragmentProfiles() const;
+
+  /// Current compilation tier (trace/tier.h) of loop \p LoopId of the
+  /// script with id \p ScriptId -- Interpreter after demotion (the old
+  /// "blacklisted"), Method after promotion or under --tier=method.
+  /// Loops the monitor has never seen report the configured initial tier;
+  /// with the JIT disabled everything reports Tier::Interpreter.
+  Tier tierOf(uint32_t ScriptId, uint16_t LoopId) const;
 
   /// Write the event stream recorded so far as Chrome trace-event JSON
   /// (chrome://tracing, ui.perfetto.dev). Requires

@@ -77,6 +77,7 @@ public:
 private:
   friend class TraceMonitor;
   friend class TraceRecorder;
+  friend struct MethodOps; ///< Method-tier helper bodies (trace/helpers.cpp).
 
   /// The dispatch loop. Executes until the entry frame returns or an error
   /// is raised.

@@ -78,6 +78,17 @@ public:
     (void)Out;
   }
 
+  /// Raw compilation tier (the Tier enum in trace/tier.h) of loop
+  /// \p LoopId of the script with id \p ScriptId. Loops the monitor has
+  /// never seen report the engine's initial tier. Engine::tierOf is the
+  /// typed wrapper; the raw value keeps this interface free of trace-layer
+  /// headers. Default: 1 (Tier::Trace).
+  virtual uint8_t tierOfLoop(uint32_t ScriptId, uint16_t LoopId) const {
+    (void)ScriptId;
+    (void)LoopId;
+    return 1;
+  }
+
   // --- Code-cache lifecycle --------------------------------------------------
 
   /// Called by the engine at the top of every eval; resets the per-eval

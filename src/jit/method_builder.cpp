@@ -1,0 +1,759 @@
+//===- method_builder.cpp - Bytecode -> LIR whole-loop-body compiler -------===//
+
+#include "jit/method_builder.h"
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "frontend/bytecode.h"
+#include "interp/interpreter.h"
+#include "interp/vmcontext.h"
+#include "jit/fragment.h"
+#include "lir/lir.h"
+#include "support/arena.h"
+#include "trace/helpers.h"
+#include "trace/typemap.h"
+
+namespace tracejit {
+
+namespace {
+
+/// One build. The abstract state is a single integer per pc: the absolute
+/// value-stack top ("sp") the interpreter would have there. Pass 1 solves
+/// sp for every reachable pc with a worklist (joins must agree); pass 2
+/// lowers linearly, binding a label at every jump target.
+class MethodBuilder {
+public:
+  MethodBuilder(VMContext &Ctx, Interpreter &Interp, FunctionScript *Script,
+                LoopRecord *Loop, Fragment *F)
+      : Ctx(Ctx), Interp(Interp), Script(Script), Loop(Loop), F(F),
+        NG(Ctx.Globals.size()), Base(Interp.currentFrame().Base),
+        EntrySp(Interp.stackTop()), Buf(*F->LirArena) {}
+
+  bool build();
+
+private:
+  // --- Pass 1: abstract interpretation of sp -------------------------------
+
+  bool solveStackDepths();
+  /// Stack-top after executing the op at \p Pc with stack-top \p Sp; false
+  /// when the op is unsupported or would underflow.
+  bool spAfter(Op O, uint32_t Pc, int64_t Sp, int64_t &Out) const;
+  bool inRange(uint32_t Pc) const {
+    return Pc >= Loop->HeaderPc && Pc < Loop->EndPc;
+  }
+
+  // --- Pass 2: lowering ----------------------------------------------------
+
+  bool lowerOp(Op O, uint32_t Pc, int64_t Sp);
+  void lowerArith(Op O, uint32_t Pc, int64_t Sp);
+  void lowerCompare(Op O, uint32_t Pc, int64_t Sp);
+  void lowerBitop(Op O, uint32_t Pc, int64_t Sp);
+  void lowerNeg(uint32_t Pc, int64_t Sp);
+  void lowerBitNot(uint32_t Pc, int64_t Sp);
+  void lowerLogicalNot(uint32_t Pc, int64_t Sp);
+  void lowerCondJump(Op O, uint32_t Pc, int64_t Sp);
+
+  // --- Emission helpers ----------------------------------------------------
+
+  LIns *immI(int32_t V) { return Buf.insImmI(V); }
+  LIns *immQ(int64_t V) { return Buf.insImmQ(V); }
+  LIns *interpPtr() { return immQ((int64_t)(intptr_t)&Interp); }
+
+  void noteSlot(uint32_t TarSlot) {
+    if (TarSlot + 1 > MaxTarSlots)
+      MaxTarSlots = TarSlot + 1;
+  }
+  /// Load/store the boxed word of absolute stack index \p Idx.
+  LIns *ldStack(int64_t Idx) {
+    noteSlot(NG + (uint32_t)Idx);
+    return Buf.insLoad(LOp::LdQ, ParamTar, tarOffsetOfSlot(NG + (uint32_t)Idx));
+  }
+  void stStack(int64_t Idx, LIns *V) {
+    noteSlot(NG + (uint32_t)Idx);
+    Buf.insStore(LOp::StQ, V, ParamTar, tarOffsetOfSlot(NG + (uint32_t)Idx));
+  }
+  LIns *ldGlobal(uint32_t G) {
+    return Buf.insLoad(LOp::LdQ, ParamTar, tarOffsetOfSlot(G));
+  }
+  void stGlobal(uint32_t G, LIns *V) {
+    Buf.insStore(LOp::StQ, V, ParamTar, tarOffsetOfSlot(G));
+  }
+
+  /// v must be a boxed int word: extract the int32 payload.
+  LIns *unboxInt(LIns *W) {
+    return Buf.ins1(LOp::Q2I, Buf.ins2(LOp::SarQ, W, immI(32)));
+  }
+  /// Box an int32 back into a value word.
+  LIns *boxInt(LIns *I) {
+    return Buf.ins2(LOp::OrQ,
+                    Buf.ins2(LOp::ShlQ, Buf.ins1(LOp::UI2Q, I), immI(32)),
+                    immQ(1));
+  }
+  /// Box an i32 0/1 into a boolean value word ((payload << 3) | Special).
+  LIns *boxBool(LIns *B) {
+    return Buf.ins2(LOp::OrQ,
+                    Buf.ins2(LOp::ShlQ, Buf.ins1(LOp::UI2Q, B), immI(3)),
+                    immQ((int64_t)TagSpecial));
+  }
+  /// I32 1 iff both words carry the int tag bit.
+  LIns *bothInt(LIns *A, LIns *B) {
+    return Buf.ins2(LOp::EqQ,
+                    Buf.ins2(LOp::AndQ, Buf.ins2(LOp::AndQ, A, B), immQ(1)),
+                    immQ(1));
+  }
+  /// I32 1 iff the word is a boolean (bits 6 or 14).
+  LIns *isBoolean(LIns *W) {
+    return Buf.ins2(LOp::EqQ, Buf.ins2(LOp::AndQ, W, immQ(~(int64_t)8)),
+                    immQ((int64_t)TagSpecial));
+  }
+
+  ExitDescriptor *makeExit(ExitKind Kind, uint32_t Pc, int64_t Sp);
+  /// Guard that a helper result is not the error sentinel; deopt at \p Pc
+  /// (where the pending error unwinds the interpreter) otherwise.
+  void guardNotSentinel(LIns *R, uint32_t Pc, int64_t Sp) {
+    Buf.insGuard(LOp::GuardF,
+                 Buf.ins2(LOp::EqQ, R, immQ((int64_t)MethodErrorSentinel)),
+                 makeExit(ExitKind::Deopt, Pc, Sp));
+  }
+  void emitPreemptGuard(uint32_t Pc, int64_t Sp) {
+    LIns *Flag = Buf.insLoad(
+        LOp::LdI, immQ((int64_t)(intptr_t)&Ctx.PreemptFlag), 0);
+    Buf.insGuard(LOp::GuardT, Buf.ins2(LOp::EqI, Flag, immI(0)),
+                 makeExit(ExitKind::Preempt, Pc, Sp));
+  }
+  LIns *callHelper(const CallInfo *CI, std::initializer_list<LIns *> Args) {
+    LIns *A[6];
+    uint32_t N = 0;
+    for (LIns *X : Args)
+      A[N++] = X;
+    return Buf.insCall(CI, A, N);
+  }
+  /// Label for a branch to \p Target: the in-body label, or a fresh label
+  /// whose block (an exit) is emitted after the main lowering.
+  LIns *labelForTarget(uint32_t Target, int64_t SpAtTarget) {
+    if (inRange(Target))
+      return Labels.at(Target);
+    LIns *L = Buf.makeLabel();
+    PendingExits.push_back({L, Target, SpAtTarget});
+    return L;
+  }
+
+  VMContext &Ctx;
+  Interpreter &Interp;
+  FunctionScript *Script;
+  LoopRecord *Loop;
+  Fragment *F;
+  uint32_t NG;      ///< Global-table size (TAR slots [0, NG)).
+  uint32_t Base;    ///< Entry frame's local-0 stack index.
+  uint32_t EntrySp; ///< Absolute stack top at the loop header.
+
+  LirBuffer Buf;
+  LIns *ParamTar = nullptr;
+  uint32_t MaxTarSlots = 0;
+  uint32_t OpsLowered = 0;
+
+  std::unordered_map<uint32_t, int64_t> SpAt; ///< Reachable pc -> stack top.
+  std::unordered_map<uint32_t, LIns *> Labels; ///< Jump-target pc -> label.
+  struct PendingExit {
+    LIns *Label;
+    uint32_t Pc;
+    int64_t Sp;
+  };
+  std::vector<PendingExit> PendingExits;
+};
+
+ExitDescriptor *MethodBuilder::makeExit(ExitKind Kind, uint32_t Pc,
+                                        int64_t Sp) {
+  ExitDescriptor *E = F->makeExit();
+  E->Kind = Kind;
+  E->Pc = Pc;
+  E->Sp = (uint32_t)Sp;
+  E->Frames = F->EntryFrames;
+  E->Types.NumGlobals = NG;
+  E->Types.Types.assign(NG + (size_t)Sp, TraceType::Boxed);
+  return E;
+}
+
+bool MethodBuilder::spAfter(Op O, uint32_t Pc, int64_t Sp,
+                            int64_t &Out) const {
+  int64_t D = 0;
+  switch (O) {
+  case Op::Nop:
+  case Op::Nop3:
+  case Op::LoopHeader:
+  case Op::SetLocal:
+  case Op::SetGlobal:
+  case Op::GetProp:
+  case Op::Neg:
+  case Op::BitNot:
+  case Op::LogicalNot:
+  case Op::Jump:
+    D = 0;
+    break;
+  case Op::PushConst:
+  case Op::PushUndefined:
+  case Op::Dup:
+  case Op::GetLocal:
+  case Op::GetGlobal:
+  case Op::NewObject:
+    D = 1;
+    break;
+  case Op::Dup2:
+    D = 2;
+    break;
+  case Op::Pop:
+  case Op::PopResult:
+  case Op::SetProp:
+  case Op::InitProp:
+  case Op::GetElem:
+  case Op::Add:
+  case Op::Sub:
+  case Op::Mul:
+  case Op::Div:
+  case Op::Mod:
+  case Op::BitAnd:
+  case Op::BitOr:
+  case Op::BitXor:
+  case Op::Shl:
+  case Op::Shr:
+  case Op::Ushr:
+  case Op::Lt:
+  case Op::Le:
+  case Op::Gt:
+  case Op::Ge:
+  case Op::Eq:
+  case Op::Ne:
+  case Op::StrictEq:
+  case Op::StrictNe:
+  case Op::JumpIfFalse:
+  case Op::JumpIfTrue:
+  case Op::Return:
+    D = -1;
+    break;
+  case Op::SetElem:
+    D = -2;
+    break;
+  case Op::Call:
+    D = -(int64_t)Script->Code[Pc + 1];
+    break;
+  case Op::CallProp:
+    D = -(int64_t)Script->Code[Pc + 3];
+    break;
+  case Op::NewArray:
+    D = 1 - (int64_t)Script->u16At(Pc + 1);
+    break;
+  case Op::ReturnUndefined:
+    D = 0;
+    break;
+  default:
+    return false; // unknown op: refuse to method-compile
+  }
+  Out = Sp + D;
+  // The operand stack never dips below the entry frame's locals inside a
+  // loop body; anything else is malformed input.
+  return Out >= (int64_t)Base;
+}
+
+bool MethodBuilder::solveStackDepths() {
+  std::vector<uint32_t> Work;
+  SpAt[Loop->HeaderPc] = EntrySp;
+  Work.push_back(Loop->HeaderPc);
+  Labels[Loop->HeaderPc] = nullptr; // back-edge target, always a label
+
+  while (!Work.empty()) {
+    uint32_t Pc = Work.back();
+    Work.pop_back();
+    int64_t Sp = SpAt.at(Pc);
+    Op O = Script->opAt(Pc);
+    uint32_t Len = 1 + opInfo(O).OperandBytes;
+    if (Pc + Len > Loop->EndPc && O != Op::Jump && O != Op::Return &&
+        O != Op::ReturnUndefined) {
+      // An op straddling the loop end can only be a terminator.
+      if (!(Pc + Len <= Script->Code.size()))
+        return false;
+    }
+
+    int64_t SpOut;
+    if (!spAfter(O, Pc, Sp, SpOut))
+      return false;
+
+    auto Flow = [&](uint32_t Succ, int64_t S) {
+      if (!inRange(Succ))
+        return true; // leaves the loop: handled as an exit at lowering
+      auto It = SpAt.find(Succ);
+      if (It == SpAt.end()) {
+        SpAt[Succ] = S;
+        Work.push_back(Succ);
+        return true;
+      }
+      return It->second == S; // joins must agree on stack depth
+    };
+
+    switch (O) {
+    case Op::Jump: {
+      uint32_t T = Script->u32At(Pc + 1);
+      if (inRange(T))
+        Labels.emplace(T, nullptr);
+      if (!Flow(T, SpOut))
+        return false;
+      break;
+    }
+    case Op::JumpIfFalse:
+    case Op::JumpIfTrue: {
+      uint32_t T = Script->u32At(Pc + 1);
+      if (inRange(T))
+        Labels.emplace(T, nullptr);
+      if (!Flow(T, SpOut) || !Flow(Pc + Len, SpOut))
+        return false;
+      break;
+    }
+    case Op::Return:
+    case Op::ReturnUndefined:
+      break; // terminal (lowered as a deopt)
+    default:
+      if (!Flow(Pc + Len, SpOut))
+        return false;
+      break;
+    }
+  }
+  return true;
+}
+
+void MethodBuilder::lowerArith(Op O, uint32_t Pc, int64_t Sp) {
+  LIns *A = ldStack(Sp - 2), *B = ldStack(Sp - 1);
+  LIns *Slow = Buf.makeLabel(), *Cont = Buf.makeLabel();
+  Buf.insJmpIf(LOp::JmpIfF, bothInt(A, B), Slow);
+  // Fast path: unbox, overflow-checked op, rebox. Overflow deopts: the
+  // interpreter re-runs the op and boxes a double.
+  LOp Ov = O == Op::Add   ? LOp::AddOvI
+           : O == Op::Sub ? LOp::SubOvI
+                          : LOp::MulOvI;
+  LIns *R = Buf.insOvf(Ov, unboxInt(A), unboxInt(B),
+                       makeExit(ExitKind::Deopt, Pc, Sp));
+  stStack(Sp - 2, boxInt(R));
+  Buf.insJmp(Cont);
+  Buf.bindLabel(Slow);
+  LIns *A2 = ldStack(Sp - 2), *B2 = ldStack(Sp - 1);
+  LIns *R2 = callHelper(&helperCalls().MethodBinop,
+                        {interpPtr(), immI((int32_t)Pc), immI((int32_t)O), A2,
+                         B2});
+  guardNotSentinel(R2, Pc, Sp);
+  stStack(Sp - 2, R2);
+  Buf.bindLabel(Cont);
+}
+
+void MethodBuilder::lowerCompare(Op O, uint32_t Pc, int64_t Sp) {
+  LIns *A = ldStack(Sp - 2), *B = ldStack(Sp - 1);
+  LIns *Slow = Buf.makeLabel(), *Cont = Buf.makeLabel();
+  Buf.insJmpIf(LOp::JmpIfF, bothInt(A, B), Slow);
+  LOp C = O == Op::Lt         ? LOp::LtI
+          : O == Op::Le       ? LOp::LeI
+          : O == Op::Gt       ? LOp::GtI
+          : O == Op::Ge       ? LOp::GeI
+          : O == Op::Ne       ? LOp::NeI
+          : O == Op::StrictNe ? LOp::NeI
+                              : LOp::EqI; // Eq / StrictEq
+  stStack(Sp - 2, boxBool(Buf.ins2(C, unboxInt(A), unboxInt(B))));
+  Buf.insJmp(Cont);
+  Buf.bindLabel(Slow);
+  LIns *A2 = ldStack(Sp - 2), *B2 = ldStack(Sp - 1);
+  LIns *R2 = callHelper(&helperCalls().MethodBinop,
+                        {interpPtr(), immI((int32_t)Pc), immI((int32_t)O), A2,
+                         B2});
+  guardNotSentinel(R2, Pc, Sp);
+  stStack(Sp - 2, R2);
+  Buf.bindLabel(Cont);
+}
+
+void MethodBuilder::lowerBitop(Op O, uint32_t Pc, int64_t Sp) {
+  LIns *A = ldStack(Sp - 2), *B = ldStack(Sp - 1);
+  LIns *Slow = Buf.makeLabel(), *Cont = Buf.makeLabel();
+  Buf.insJmpIf(LOp::JmpIfF, bothInt(A, B), Slow);
+  LIns *Ai = unboxInt(A), *Bi = unboxInt(B);
+  LIns *R;
+  switch (O) {
+  case Op::BitAnd:
+    R = Buf.ins2(LOp::AndI, Ai, Bi);
+    break;
+  case Op::BitOr:
+    R = Buf.ins2(LOp::OrI, Ai, Bi);
+    break;
+  case Op::BitXor:
+    R = Buf.ins2(LOp::XorI, Ai, Bi);
+    break;
+  case Op::Shl:
+    R = Buf.ins2(LOp::ShlI, Ai, Buf.ins2(LOp::AndI, Bi, immI(31)));
+    break;
+  default: // Shr
+    R = Buf.ins2(LOp::ShrI, Ai, Buf.ins2(LOp::AndI, Bi, immI(31)));
+    break;
+  }
+  stStack(Sp - 2, boxInt(R));
+  Buf.insJmp(Cont);
+  Buf.bindLabel(Slow);
+  LIns *A2 = ldStack(Sp - 2), *B2 = ldStack(Sp - 1);
+  LIns *R2 = callHelper(&helperCalls().MethodBinop,
+                        {interpPtr(), immI((int32_t)Pc), immI((int32_t)O), A2,
+                         B2});
+  guardNotSentinel(R2, Pc, Sp);
+  stStack(Sp - 2, R2);
+  Buf.bindLabel(Cont);
+}
+
+void MethodBuilder::lowerNeg(uint32_t Pc, int64_t Sp) {
+  LIns *A = ldStack(Sp - 1);
+  LIns *Slow = Buf.makeLabel(), *Cont = Buf.makeLabel();
+  Buf.insJmpIf(LOp::JmpIfF,
+               Buf.ins2(LOp::EqQ, Buf.ins2(LOp::AndQ, A, immQ(1)), immQ(1)),
+               Slow);
+  LIns *Ai = unboxInt(A);
+  // -0 must box a double: send zero to the helper. SubOvI catches
+  // INT32_MIN (the only overflowing negation) with a deopt.
+  Buf.insJmpIf(LOp::JmpIfF, Buf.ins2(LOp::NeI, Ai, immI(0)), Slow);
+  LIns *R = Buf.insOvf(LOp::SubOvI, immI(0), Buf.ins1(LOp::Q2I,
+                                                      Buf.ins2(LOp::SarQ,
+                                                               ldStack(Sp - 1),
+                                                               immI(32))),
+                       makeExit(ExitKind::Deopt, Pc, Sp));
+  stStack(Sp - 1, boxInt(R));
+  Buf.insJmp(Cont);
+  Buf.bindLabel(Slow);
+  LIns *R2 = callHelper(&helperCalls().MethodUnop,
+                        {interpPtr(), immI((int32_t)Pc),
+                         immI((int32_t)Op::Neg), ldStack(Sp - 1)});
+  guardNotSentinel(R2, Pc, Sp);
+  stStack(Sp - 1, R2);
+  Buf.bindLabel(Cont);
+}
+
+void MethodBuilder::lowerBitNot(uint32_t Pc, int64_t Sp) {
+  LIns *A = ldStack(Sp - 1);
+  LIns *Slow = Buf.makeLabel(), *Cont = Buf.makeLabel();
+  Buf.insJmpIf(LOp::JmpIfF,
+               Buf.ins2(LOp::EqQ, Buf.ins2(LOp::AndQ, A, immQ(1)), immQ(1)),
+               Slow);
+  stStack(Sp - 1, boxInt(Buf.ins2(LOp::XorI, unboxInt(A), immI(-1))));
+  Buf.insJmp(Cont);
+  Buf.bindLabel(Slow);
+  LIns *R2 = callHelper(&helperCalls().MethodUnop,
+                        {interpPtr(), immI((int32_t)Pc),
+                         immI((int32_t)Op::BitNot), ldStack(Sp - 1)});
+  guardNotSentinel(R2, Pc, Sp);
+  stStack(Sp - 1, R2);
+  Buf.bindLabel(Cont);
+}
+
+void MethodBuilder::lowerLogicalNot(uint32_t Pc, int64_t Sp) {
+  LIns *A = ldStack(Sp - 1);
+  LIns *Slow = Buf.makeLabel(), *Cont = Buf.makeLabel();
+  Buf.insJmpIf(LOp::JmpIfF, isBoolean(A), Slow);
+  // Booleans are bits 6 / 14: toggle bit 3 to negate.
+  stStack(Sp - 1,
+          Buf.ins1(LOp::UI2Q,
+                   Buf.ins2(LOp::XorI, Buf.ins1(LOp::Q2I, A), immI(8))));
+  Buf.insJmp(Cont);
+  Buf.bindLabel(Slow);
+  LIns *R2 = callHelper(&helperCalls().MethodUnop,
+                        {interpPtr(), immI((int32_t)Pc),
+                         immI((int32_t)Op::LogicalNot), ldStack(Sp - 1)});
+  guardNotSentinel(R2, Pc, Sp);
+  stStack(Sp - 1, R2);
+  Buf.bindLabel(Cont);
+}
+
+void MethodBuilder::lowerCondJump(Op O, uint32_t Pc, int64_t Sp) {
+  uint32_t T = Script->u32At(Pc + 1);
+  int64_t SpOut = Sp - 1;
+  LIns *Target = labelForTarget(T, SpOut);
+  LIns *V = ldStack(Sp - 1);
+  LIns *Slow = Buf.makeLabel(), *Cont = Buf.makeLabel();
+  Buf.insJmpIf(LOp::JmpIfF, isBoolean(V), Slow);
+  LIns *Truthy = Buf.ins2(LOp::EqQ, V, immQ((int64_t)Value::makeBoolean(true)
+                                                .bits()));
+  Buf.insJmpIf(O == Op::JumpIfTrue ? LOp::JmpIfT : LOp::JmpIfF, Truthy,
+               Target);
+  Buf.insJmp(Cont);
+  Buf.bindLabel(Slow);
+  LIns *R = callHelper(&helperCalls().MethodTruthy, {ldStack(Sp - 1)});
+  Buf.insJmpIf(O == Op::JumpIfTrue ? LOp::JmpIfT : LOp::JmpIfF, R, Target);
+  Buf.bindLabel(Cont);
+}
+
+bool MethodBuilder::lowerOp(Op O, uint32_t Pc, int64_t Sp) {
+  const HelperCalls &H = helperCalls();
+  switch (O) {
+  case Op::Nop:
+    break;
+  case Op::Nop3:
+  case Op::LoopHeader:
+    // Loop edges stay safe points in method code: the preempt guard
+    // delivers GC requests, deadlines, and quota terminations (§6.4).
+    emitPreemptGuard(Pc, Sp);
+    break;
+  case Op::PushConst:
+    stStack(Sp, immQ((int64_t)Script->Consts[Script->u16At(Pc + 1)].bits()));
+    break;
+  case Op::PushUndefined:
+    stStack(Sp, immQ((int64_t)Value::undefined().bits()));
+    break;
+  case Op::Pop:
+    break;
+  case Op::PopResult:
+    Buf.insStore(LOp::StQ, ldStack(Sp - 1),
+                 immQ((int64_t)(intptr_t)&Ctx.LastResult), 0);
+    break;
+  case Op::Dup:
+    stStack(Sp, ldStack(Sp - 1));
+    break;
+  case Op::Dup2:
+    stStack(Sp, ldStack(Sp - 2));
+    stStack(Sp + 1, ldStack(Sp - 1));
+    break;
+  case Op::GetLocal:
+    stStack(Sp, ldStack((int64_t)Base + Script->u16At(Pc + 1)));
+    break;
+  case Op::SetLocal:
+    stStack((int64_t)Base + Script->u16At(Pc + 1), ldStack(Sp - 1));
+    break;
+  case Op::GetGlobal:
+    stStack(Sp, ldGlobal(Script->u16At(Pc + 1)));
+    break;
+  case Op::SetGlobal:
+    stGlobal(Script->u16At(Pc + 1), ldStack(Sp - 1));
+    break;
+  case Op::GetProp: {
+    LIns *R = callHelper(&H.MethodGetProp,
+                         {interpPtr(), immI((int32_t)Pc),
+                          immI((int32_t)Script->u16At(Pc + 1)),
+                          ldStack(Sp - 1)});
+    guardNotSentinel(R, Pc, Sp);
+    stStack(Sp - 1, R);
+    break;
+  }
+  case Op::SetProp: {
+    LIns *V = ldStack(Sp - 1);
+    LIns *R = callHelper(&H.MethodSetProp,
+                         {interpPtr(), immI((int32_t)Pc),
+                          immI((int32_t)Script->u16At(Pc + 1)),
+                          ldStack(Sp - 2), V});
+    guardNotSentinel(R, Pc, Sp);
+    stStack(Sp - 2, V);
+    break;
+  }
+  case Op::InitProp: {
+    LIns *R = callHelper(&H.MethodInitProp,
+                         {interpPtr(), immI((int32_t)Pc),
+                          immI((int32_t)Script->u16At(Pc + 1)),
+                          ldStack(Sp - 2), ldStack(Sp - 1)});
+    guardNotSentinel(R, Pc, Sp);
+    break;
+  }
+  case Op::GetElem: {
+    LIns *R = callHelper(&H.MethodGetElem,
+                         {interpPtr(), immI((int32_t)Pc), ldStack(Sp - 2),
+                          ldStack(Sp - 1)});
+    guardNotSentinel(R, Pc, Sp);
+    stStack(Sp - 2, R);
+    break;
+  }
+  case Op::SetElem: {
+    LIns *V = ldStack(Sp - 1);
+    LIns *R = callHelper(&H.MethodSetElem,
+                         {interpPtr(), immI((int32_t)Pc), ldStack(Sp - 3),
+                          ldStack(Sp - 2), V});
+    guardNotSentinel(R, Pc, Sp);
+    stStack(Sp - 3, V);
+    break;
+  }
+  case Op::Add:
+  case Op::Sub:
+  case Op::Mul:
+    lowerArith(O, Pc, Sp);
+    break;
+  case Op::Div:
+  case Op::Mod:
+  case Op::Ushr: {
+    LIns *R = callHelper(&H.MethodBinop,
+                         {interpPtr(), immI((int32_t)Pc), immI((int32_t)O),
+                          ldStack(Sp - 2), ldStack(Sp - 1)});
+    guardNotSentinel(R, Pc, Sp);
+    stStack(Sp - 2, R);
+    break;
+  }
+  case Op::BitAnd:
+  case Op::BitOr:
+  case Op::BitXor:
+  case Op::Shl:
+  case Op::Shr:
+    lowerBitop(O, Pc, Sp);
+    break;
+  case Op::Lt:
+  case Op::Le:
+  case Op::Gt:
+  case Op::Ge:
+  case Op::Eq:
+  case Op::Ne:
+  case Op::StrictEq:
+  case Op::StrictNe:
+    lowerCompare(O, Pc, Sp);
+    break;
+  case Op::Neg:
+    lowerNeg(Pc, Sp);
+    break;
+  case Op::BitNot:
+    lowerBitNot(Pc, Sp);
+    break;
+  case Op::LogicalNot:
+    lowerLogicalNot(Pc, Sp);
+    break;
+  case Op::Jump: {
+    uint32_t T = Script->u32At(Pc + 1);
+    if (inRange(T))
+      Buf.insJmp(Labels.at(T));
+    else
+      Buf.insExit(makeExit(ExitKind::LoopExit, T, Sp));
+    break;
+  }
+  case Op::JumpIfFalse:
+  case Op::JumpIfTrue:
+    lowerCondJump(O, Pc, Sp);
+    break;
+  case Op::Call: {
+    uint32_t ArgC = Script->Code[Pc + 1];
+    LIns *R = callHelper(&H.MethodCall,
+                         {interpPtr(), immI((int32_t)Pc), immI((int32_t)ArgC),
+                          ParamTar, immI((int32_t)Sp)});
+    guardNotSentinel(R, Pc, Sp);
+    stStack(Sp - (int64_t)ArgC - 1, R);
+    break;
+  }
+  case Op::CallProp: {
+    uint32_t ArgC = Script->Code[Pc + 3];
+    LIns *R = callHelper(&H.MethodCallProp,
+                         {interpPtr(), immI((int32_t)Pc),
+                          immI((int32_t)Script->u16At(Pc + 1)),
+                          immI((int32_t)ArgC), ParamTar, immI((int32_t)Sp)});
+    guardNotSentinel(R, Pc, Sp);
+    stStack(Sp - (int64_t)ArgC - 1, R);
+    break;
+  }
+  case Op::Return:
+  case Op::ReturnUndefined:
+    // Leaving the frame ends the loop: hand the whole return back to the
+    // interpreter (it resumes at this pc and pops the frame itself).
+    Buf.insExit(makeExit(ExitKind::Deopt, Pc, Sp));
+    break;
+  case Op::NewArray: {
+    uint32_t N = Script->u16At(Pc + 1);
+    noteSlot(NG + (uint32_t)Sp); // elements live at [Sp-N, Sp)
+    LIns *Elems = Buf.ins2(
+        LOp::AddQ, ParamTar,
+        immQ((int64_t)tarOffsetOfSlot(NG + (uint32_t)(Sp - N))));
+    LIns *R = callHelper(&H.MethodNewArray, {interpPtr(), immI((int32_t)Pc),
+                                             immI((int32_t)N), Elems});
+    guardNotSentinel(R, Pc, Sp);
+    stStack(Sp - N, R);
+    break;
+  }
+  case Op::NewObject: {
+    LIns *R = callHelper(&H.MethodNewObject, {interpPtr(), immI((int32_t)Pc)});
+    guardNotSentinel(R, Pc, Sp);
+    stStack(Sp, R);
+    break;
+  }
+  default:
+    return false;
+  }
+  ++OpsLowered;
+  return true;
+}
+
+bool MethodBuilder::build() {
+  if (Loop->EndPc <= Loop->HeaderPc || Loop->EndPc > Script->Code.size())
+    return false;
+  if (Script->opAt(Loop->HeaderPc) != Op::LoopHeader &&
+      Script->opAt(Loop->HeaderPc) != Op::Nop3)
+    return false;
+
+  // The entry shape: live frame chain and stack top at the header. Every
+  // exit restores this chain (the body never pushes or pops frames --
+  // calls run re-entrantly under the tj_MethodCall helpers).
+  for (const Frame &Fr : Interp.frames())
+    F->EntryFrames.push_back({Fr.Script, Fr.Base, Fr.ReturnPc});
+  F->EntryFrameCount = (uint32_t)Interp.frames().size();
+  F->EntryTypes.NumGlobals = NG;
+  F->EntryTypes.Types.assign(NG + EntrySp, TraceType::Boxed);
+  MaxTarSlots = NG + EntrySp;
+
+  if (!solveStackDepths())
+    return false;
+
+  ParamTar = Buf.ins0(LOp::ParamTar);
+  for (auto &KV : Labels)
+    KV.second = Buf.makeLabel();
+
+  // Linear lowering in pc order. Unreachable stretches (no solved sp) are
+  // decoded but not lowered; labels only exist at reachable pcs.
+  uint32_t Pc = Loop->HeaderPc;
+  bool FellThrough = false; // reachable fall-through into EndPc
+  while (Pc < Loop->EndPc) {
+    Op O = Script->opAt(Pc);
+    uint32_t Len = 1 + opInfo(O).OperandBytes;
+    auto SpIt = SpAt.find(Pc);
+    if (SpIt != SpAt.end()) {
+      auto LIt = Labels.find(Pc);
+      if (LIt != Labels.end())
+        Buf.bindLabel(LIt->second);
+      int64_t Sp = SpIt->second;
+      if (!lowerOp(O, Pc, Sp))
+        return false;
+      if (O != Op::Jump && O != Op::Return && O != Op::ReturnUndefined) {
+        int64_t SpOut;
+        spAfter(O, Pc, Sp, SpOut);
+        if (Pc + Len >= Loop->EndPc) {
+          // Reachable fall-through out of the body: a normal loop exit.
+          Buf.insExit(makeExit(ExitKind::LoopExit, Pc + Len, SpOut));
+          FellThrough = true;
+        }
+      }
+    }
+    Pc += Len;
+  }
+  (void)FellThrough;
+
+  // Exit blocks for conditional branches that leave the body.
+  for (const PendingExit &P : PendingExits) {
+    Buf.bindLabel(P.Label);
+    Buf.insExit(makeExit(ExitKind::LoopExit, P.Pc, P.Sp));
+  }
+
+  if (Buf.size() == 0)
+    return false;
+  // The body must end in an unconditional transfer; the back-edge Jmp or
+  // an exit block satisfies this for every well-formed loop.
+  LIns *Last = Buf.instructions().back();
+  if (Last->Op != LOp::Exit && Last->Op != LOp::Jmp)
+    return false;
+
+  F->Body = std::move(Buf.instructions());
+  F->RequiredTarSlots = MaxTarSlots;
+  F->BytecodesCovered = OpsLowered;
+  F->LirRecorded = (uint32_t)F->Body.size();
+  F->LirAfterFilters = (uint32_t)F->Body.size();
+  F->PrologueEnd = 0;
+  F->EntryExit = nullptr;
+  return true;
+}
+
+} // namespace
+
+bool buildMethodBody(VMContext &Ctx, Interpreter &Interp,
+                     FunctionScript *Script, LoopRecord *Loop, Fragment *F) {
+  if (!F->LirArena)
+    F->LirArena = std::make_unique<Arena>();
+  return MethodBuilder(Ctx, Interp, Script, Loop, F).build();
+}
+
+} // namespace tracejit

@@ -1,0 +1,45 @@
+//===- method_builder.h - Bytecode -> LIR whole-loop-body compiler ---------===//
+//
+// The method-tier front end (trace/tier.h): lowers one loop body
+// [HeaderPc, EndPc) directly from bytecode to LIR, with real control flow
+// (Label/Jmp/JmpIfT/JmpIfF) instead of recorded straight-line traces.
+//
+// Shape of the generated code:
+//   - every value stays boxed; the TAR holds raw Value words (the
+//     all-Boxed entry map, so method fragments never peer-match traces),
+//   - each bytecode loads its operands from the TAR and stores its result
+//     back eagerly, so no SSA value needs to live across a control-flow
+//     join -- the TAR is the register file at every label,
+//   - int-int fast paths are inlined with tag tests and branch to a
+//     helper-call slow path where the recorder would have guarded,
+//   - everything else calls a tj_Method* helper that reuses the exact
+//     interpreter semantics and deopts at the faulting pc on error,
+//   - jumps that leave the loop body become LoopExit exits; Return
+//     becomes a Deopt at the return pc; loop headers in the body keep
+//     their preempt guards so deadlines/GC/quotas still fire (§6.4).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef TRACEJIT_JIT_METHOD_BUILDER_H
+#define TRACEJIT_JIT_METHOD_BUILDER_H
+
+namespace tracejit {
+
+class Fragment;
+class Interpreter;
+struct FunctionScript;
+struct LoopRecord;
+struct VMContext;
+
+/// Populate \p F (kind Method) with a compiled body for \p Loop of
+/// \p Script, anchored at the current interpreter state (the live frame
+/// chain becomes the fragment's entry shape). Fills EntryTypes,
+/// EntryFrames, Body, RequiredTarSlots, BytecodesCovered, and LirRecorded.
+/// Returns false when the loop cannot be method-compiled (malformed or
+/// stack-inconsistent bytecode); the fragment is then dead.
+bool buildMethodBody(VMContext &Ctx, Interpreter &Interp,
+                     FunctionScript *Script, LoopRecord *Loop, Fragment *F);
+
+} // namespace tracejit
+
+#endif // TRACEJIT_JIT_METHOD_BUILDER_H

@@ -8,6 +8,7 @@
 #include "api/engine.h"
 #include "interp/natives.h"
 #include "jit/executor.h"
+#include "jit/method_builder.h"
 #include "lir/opt.h"
 #include "lir/verify.h"
 #include "trace/helpers.h"
@@ -15,7 +16,7 @@
 namespace tracejit {
 
 TraceMonitorImpl::TraceMonitorImpl(VMContext &C, Interpreter &I)
-    : Ctx(C), Interp(I) {
+    : Ctx(C), Interp(I), Policy(C.Opts) {
   if (Ctx.Opts.JitBackend == Backend::Native) {
     // Off-thread compilation needs the dual-mapped pool so the worker can
     // emit (write view) while this thread runs traces (exec view).
@@ -77,6 +78,8 @@ void TraceMonitorImpl::collectFragmentProfiles(
     P.Id = F->Id;
     P.Generation = F->Generation;
     P.IsRoot = F->Kind == FragmentKind::Root;
+    P.IsMethod = F->Kind == FragmentKind::Method;
+    P.TierName = P.IsMethod ? tierName(Tier::Method) : tierName(Tier::Trace);
     P.ScriptId = F->AnchorScript ? F->AnchorScript->Id : ~0u;
     P.AnchorPc = F->AnchorPc;
     P.Enters = F->Enters;
@@ -137,6 +140,9 @@ LoopState *TraceMonitorImpl::loopState(FunctionScript *S, uint16_t LoopId) {
     auto LS = std::make_unique<LoopState>();
     LS->Script = S;
     LS->Loop = &L;
+    LS->Tier.Current = Policy.initialTier();
+    if (LS->Tier.Current == Tier::Method)
+      LS->Tier.LastChange = TierChangeReason::MethodByPolicy;
     L.State = LS.get();
     LoopStates.push_back(std::move(LS));
   }
@@ -189,6 +195,8 @@ TypeMap TraceMonitorImpl::buildEntryTypeMap(uint32_t Sp) {
 
 static uint64_t unboxForTar(const Value &V, TraceType T) {
   switch (T) {
+  case TraceType::Boxed:
+    return V.bits(); // method tier: the raw tagged word travels as-is
   case TraceType::Int:
     return (uint64_t)(uint32_t)V.toInt();
   case TraceType::Double: {
@@ -212,6 +220,8 @@ static uint64_t unboxForTar(const Value &V, TraceType T) {
 
 static Value boxFromTar(VMContext &Ctx, uint64_t W, TraceType T) {
   switch (T) {
+  case TraceType::Boxed:
+    return Value::fromBits(W);
   case TraceType::Int:
     return Value::makeInt((int32_t)(uint32_t)W);
   case TraceType::Double: {
@@ -233,8 +243,8 @@ static Value boxFromTar(VMContext &Ctx, uint64_t W, TraceType T) {
   return Value::undefined();
 }
 
-void TraceMonitorImpl::fillTar(const TypeMap &Types, uint32_t Sp) {
-  uint64_t *Tar = reinterpret_cast<uint64_t *>(TarBuffer.data());
+void TraceMonitorImpl::fillTar(const TypeMap &Types, uint32_t Sp,
+                               uint64_t *Tar) {
   uint32_t NG = Types.NumGlobals;
   for (uint32_t G = 0; G < NG; ++G)
     Tar[G] = unboxForTar(Ctx.Globals.Values[G], Types.Types[G]);
@@ -243,8 +253,8 @@ void TraceMonitorImpl::fillTar(const TypeMap &Types, uint32_t Sp) {
     Tar[NG + I] = unboxForTar(Stack[I], Types.Types[NG + I]);
 }
 
-void TraceMonitorImpl::restoreFromExit(ExitDescriptor *E) {
-  const uint64_t *Tar = reinterpret_cast<const uint64_t *>(TarBuffer.data());
+void TraceMonitorImpl::restoreFromExit(ExitDescriptor *E,
+                                       const uint64_t *Tar) {
   uint32_t NG = E->Types.NumGlobals;
 
   // "It pops or synthesizes interpreter JavaScript call stack frames as
@@ -278,11 +288,20 @@ ExitDescriptor *TraceMonitorImpl::executeFragment(Fragment *Frag) {
   for (auto &F : Fragments)
     if (F->RequiredTarSlots > Slots)
       Slots = F->RequiredTarSlots;
-  if (TarBuffer.size() < (size_t)(Slots + 64) * 8)
-    TarBuffer.resize((size_t)(Slots + 64) * 8);
+
+  // Re-entrant entry (a method-tier helper ran a nested call whose
+  // dispatch reached another compiled loop): the outer fragment's native
+  // frame still points into TarBuffer, so growing it would dangle that
+  // pointer. Give the inner execution its own stack-local TAR instead.
+  bool Reentrant = Ctx.OnTrace;
+  std::vector<uint8_t> LocalTar;
+  std::vector<uint8_t> &TarVec = Reentrant ? LocalTar : TarBuffer;
+  if (TarVec.size() < (size_t)(Slots + 64) * 8)
+    TarVec.resize((size_t)(Slots + 64) * 8);
+  uint64_t *Tar = reinterpret_cast<uint64_t *>(TarVec.data());
 
   uint32_t Sp = Interp.stackTop();
-  fillTar(Frag->EntryTypes, Sp);
+  fillTar(Frag->EntryTypes, Sp, Tar);
 
   // Seed the dynamic call-stack area with the live frames' return pcs.
   {
@@ -298,17 +317,17 @@ ExitDescriptor *TraceMonitorImpl::executeFragment(Fragment *Frag) {
   ExitDescriptor *E;
   if (Frag->NativeEntry && Native) {
     if (Native->ensureExecutable()) {
-      E = Native->enter(TarBuffer.data(), Frag);
+      E = Native->enter(TarVec.data(), Frag);
     } else {
       // W^X flip to RX failed: the native code exists but cannot legally
       // run. The LIR body is the reference semantics -- use it.
       ++Ctx.Stats.ProtectFaults;
-      E = LirExecutor::run(Frag, TarBuffer.data(), &Ctx);
+      E = LirExecutor::run(Frag, TarVec.data(), &Ctx);
     }
   } else {
-    E = LirExecutor::run(Frag, TarBuffer.data(), &Ctx);
+    E = LirExecutor::run(Frag, TarVec.data(), &Ctx);
   }
-  Ctx.OnTrace = false;
+  Ctx.OnTrace = Reentrant; // restore: an outer fragment may still be live
   if (Stats)
     Ctx.Stats.switchTo(Activity::ExitOverhead);
 
@@ -350,7 +369,7 @@ ExitDescriptor *TraceMonitorImpl::executeFragment(Fragment *Frag) {
     emitEvent(Ev);
   }
 
-  restoreFromExit(E);
+  restoreFromExit(E, Tar);
   if (Stats)
     Ctx.Stats.switchTo(Activity::Monitor);
   return E;
@@ -430,35 +449,66 @@ void TraceMonitorImpl::abortRecording(AbortReason Why,
     return;
   }
 
-  if (LS && Ctx.Opts.EnableBlacklisting) {
-    if (CountsTowardBlacklist) {
-      ++LS->Failures;
-      LS->BackoffUntil = LS->HitCount + Ctx.Opts.BlacklistBackoff;
-      if (LS->Failures >= Ctx.Opts.MaxRecordingFailures)
-        blacklist(LS);
-    } else {
-      // §4.2 forgiveness: aborts caused by a not-yet-ready inner tree are
-      // temporary -- back off briefly so the inner tree can finish, but do
-      // not count toward blacklisting.
-      LS->BackoffUntil = LS->HitCount + 4;
-    }
+  if (LS) {
+    // The policy mutates the failure/backoff counters (identically to the
+    // historical blacklist path, including §4.2 forgiveness) and answers
+    // whether the loop changes tier: trace mode demotes at the failure
+    // cap, hybrid mode promotes to the method compiler instead -- and
+    // promotes immediately on a megamorphic-site abort, which no amount
+    // of re-recording will fix.
+    TierAction A =
+        Policy.onRootAbort(LS->Tier, Why, CountsTowardBlacklist, LS->HitCount);
+    applyTierAction(LS, A,
+                    A == TierAction::Demote ? TierChangeReason::Blacklisted
+                    : Why == AbortReason::MegamorphicSite
+                        ? TierChangeReason::MegamorphicAbort
+                        : TierChangeReason::RepeatedAborts);
   }
   if (Ctx.Opts.CollectStats)
     Ctx.Stats.switchTo(Activity::Interpret);
-  (void)Why;
 }
 
-void TraceMonitorImpl::blacklist(LoopState *LS) {
-  if (LS->Blacklisted)
+void TraceMonitorImpl::applyTierAction(LoopState *LS, TierAction A,
+                                       TierChangeReason Why) {
+  if (A == TierAction::Promote)
+    promoteToMethod(LS, Why);
+  else if (A == TierAction::Demote)
+    demoteToInterpreter(LS, Why);
+}
+
+void TraceMonitorImpl::promoteToMethod(LoopState *LS, TierChangeReason Why) {
+  if (LS->Tier.Current != Tier::Trace)
     return;
-  LS->Blacklisted = true;
+  LS->Tier.Current = Tier::Method;
+  LS->Tier.LastChange = Why;
+  ++Ctx.Stats.LoopsPromoted;
+  if (Ctx.EventListener) {
+    JitEvent E;
+    E.Kind = JitEventKind::TierPromoted;
+    E.ScriptId = LS->Script ? LS->Script->Id : ~0u;
+    E.Pc = LS->Loop->HeaderPc;
+    E.Arg0 = (uint32_t)Why;
+    E.Arg1 = LS->Tier.Failures;
+    emitEvent(E);
+  }
+  // Unlike demotion, the header keeps its LoopHeader op: the monitor must
+  // keep seeing this loop to compile and enter the method body.
+}
+
+void TraceMonitorImpl::demoteToInterpreter(LoopState *LS,
+                                           TierChangeReason Why) {
+  if (LS->Tier.Current == Tier::Interpreter)
+    return;
+  LS->Tier.Current = Tier::Interpreter;
+  LS->Tier.LastChange = Why;
   ++Ctx.Stats.LoopsBlacklisted;
+  ++Ctx.Stats.LoopsDemoted;
   if (Ctx.EventListener) {
     JitEvent E;
     E.Kind = JitEventKind::Blacklisted;
     E.ScriptId = LS->Script ? LS->Script->Id : ~0u;
     E.Pc = LS->Loop->HeaderPc;
-    E.Arg0 = LS->Failures;
+    E.Arg0 = LS->Tier.Failures;
     emitEvent(E);
   }
   // "To blacklist a fragment, we simply replace the loop header no-op with
@@ -665,7 +715,7 @@ void TraceMonitorImpl::installCompiledFragment(Fragment *F, LoopState *LS,
     ++Ctx.Stats.TreesCompiled;
     LS->Peers.push_back(F);
     linkUnstableExits(LS, F);
-    LS->Failures = 0; // forgiveness: the tree is making progress
+    LS->Tier.Failures = 0; // forgiveness: the tree is making progress
   } else {
     ++Ctx.Stats.BranchesCompiled;
     // Stitch: patch the parent guard's exit to jump into this branch (§6.2).
@@ -693,6 +743,119 @@ void TraceMonitorImpl::installCompiledFragment(Fragment *F, LoopState *LS,
   // And try to link it against peers that already exist.
   for (Fragment *P : LS->Peers)
     linkUnstableExits(LS, P);
+}
+
+// --- Method tier (trace/tier.h, jit/method_builder.h) ------------------------
+
+void TraceMonitorImpl::requestMethodCompile(LoopState *LS) {
+  bool Stats = Ctx.Opts.CollectStats;
+  if (Stats)
+    Ctx.Stats.switchTo(Activity::Compile);
+  FunctionScript *S = LS->Script;
+  Fragment *F = newFragment(FragmentKind::Method);
+  F->AnchorScript = S;
+  F->AnchorPc = LS->Loop->HeaderPc;
+  F->Loop = LS->Loop;
+  F->Root = F;
+
+  auto Fail = [&]() {
+    F->Body.clear();
+    applyTierAction(LS, Policy.onMethodCompileFailed(LS->Tier),
+                    TierChangeReason::MethodCompileFailed);
+    if (Stats)
+      Ctx.Stats.switchTo(Activity::Interpret);
+  };
+
+  if (!buildMethodBody(Ctx, Interp, S, LS->Loop, F)) {
+    Fail();
+    return;
+  }
+  Ctx.Stats.LirEmitted += F->Body.size();
+
+  if (Ctx.Opts.DumpLIR)
+    fprintf(stderr, "--- fragment %u (method) entry %s\n%s", F->Id,
+            F->EntryTypes.describe().c_str(), formatBody(F->Body).c_str());
+
+  if (Ctx.Opts.VerifyLir) {
+    VerifyError VErr;
+    if (!verifyMethodBody(*F, F->EntryTypes.NumGlobals, VErr, &Ctx.Stats)) {
+      fprintf(stderr, "tracejit: method LIR verification failed: %s\n",
+              VErr.describe().c_str());
+      Fail();
+      return;
+    }
+  }
+
+  if (Native && Queue) {
+    CompileJob J;
+    J.Frag = F;
+    J.Backend = Native.get();
+    J.Ctx = &Ctx;
+    J.Generation = CacheGeneration;
+    J.LS = LS;
+    J.IsRoot = false;
+    J.IsMethod = true;
+    J.AnchorExit = nullptr;
+    J.FragmentId = F->Id;
+    J.ScriptId = S->Id;
+    J.AnchorPc = F->AnchorPc;
+    if (!Queue->trySubmit(J)) {
+      // Backpressure: drop the body, keep the tier. The loop stays in the
+      // method tier and retries at a later edge once the queue drains.
+      F->Body.clear();
+      if (Stats)
+        Ctx.Stats.switchTo(Activity::Interpret);
+      return;
+    }
+    F->CompilePending = true;
+    LS->Tier.MethodCompilePending = true;
+    ++LS->PendingCompiles;
+    ++Ctx.Stats.CompileJobsQueued;
+    if (Ctx.EventListener) {
+      JitEvent E;
+      E.Kind = JitEventKind::CompileJobQueued;
+      E.FragmentId = F->Id;
+      E.ScriptId = S->Id;
+      E.Pc = F->AnchorPc;
+      E.Arg0 = Queue->pendingCount();
+      emitEvent(E);
+    }
+    if (Stats)
+      Ctx.Stats.switchTo(Activity::Interpret);
+    return;
+  }
+
+  if (Native) {
+    CompileResult CR = Native->compile(F, &Ctx);
+    if (CR != CompileResult::Ok) {
+      if (CR == CompileResult::PoolExhausted)
+        FlushPending = true;
+      Fail();
+      return;
+    }
+    if (Ctx.Opts.DumpAssembly)
+      fprintf(stderr, "--- fragment %u native: %u bytes at %p\n", F->Id,
+              F->NativeSize, (void *)F->NativeEntry);
+  }
+
+  installMethodFragment(LS, F);
+  if (Stats)
+    Ctx.Stats.switchTo(Activity::Interpret);
+}
+
+void TraceMonitorImpl::installMethodFragment(LoopState *LS, Fragment *F) {
+  LS->MethodFrag = F;
+  ++Ctx.Stats.MethodCompiles;
+  if (Ctx.EventListener) {
+    JitEvent E;
+    E.Kind = JitEventKind::MethodCompiled;
+    E.FragmentId = F->Id;
+    E.ScriptId = F->AnchorScript ? F->AnchorScript->Id : ~0u;
+    E.Pc = F->AnchorPc;
+    E.Arg0 = F->LirRecorded;
+    E.Arg1 = F->NativeSize;
+    emitEvent(E);
+  }
 }
 
 // --- Off-thread compile publication ------------------------------------------
@@ -738,6 +901,8 @@ void TraceMonitorImpl::publishJob(CompileJob &J) {
     J.AnchorExit->CompilePending = false;
   if (LS->PendingCompiles > 0)
     --LS->PendingCompiles;
+  if (J.IsMethod)
+    LS->Tier.MethodCompilePending = false;
 
   if (J.Result != CompileResult::Ok) {
     // The worker-side compile failed. Replicate the bookkeeping the inline
@@ -760,14 +925,18 @@ void TraceMonitorImpl::publishJob(CompileJob &J) {
     }
     if (J.Result == CompileResult::PoolExhausted)
       FlushPending = true;
-    if (!J.IsRoot) {
+    if (J.IsMethod) {
+      applyTierAction(LS, Policy.onMethodCompileFailed(LS->Tier),
+                      TierChangeReason::MethodCompileFailed);
+    } else if (!J.IsRoot) {
       if (J.AnchorExit)
         ++J.AnchorExit->FailedRecordings;
-    } else if (Ctx.Opts.EnableBlacklisting) {
-      ++LS->Failures;
-      LS->BackoffUntil = LS->HitCount + Ctx.Opts.BlacklistBackoff;
-      if (LS->Failures >= Ctx.Opts.MaxRecordingFailures)
-        blacklist(LS);
+    } else {
+      TierAction A = Policy.onRootAbort(LS->Tier, Why, true, LS->HitCount);
+      applyTierAction(LS, A,
+                      A == TierAction::Demote
+                          ? TierChangeReason::Blacklisted
+                          : TierChangeReason::RepeatedAborts);
     }
     return;
   }
@@ -776,7 +945,10 @@ void TraceMonitorImpl::publishJob(CompileJob &J) {
   if (Ctx.Opts.DumpAssembly)
     fprintf(stderr, "--- fragment %u native: %u bytes at %p\n", F->Id,
             F->NativeSize, (void *)F->NativeEntry);
-  installCompiledFragment(F, LS, J.IsRoot ? nullptr : J.AnchorExit);
+  if (J.IsMethod)
+    installMethodFragment(LS, F);
+  else
+    installCompiledFragment(F, LS, J.IsRoot ? nullptr : J.AnchorExit);
 }
 
 void TraceMonitorImpl::waitCompileQueueIdle() {
@@ -879,8 +1051,13 @@ void TraceMonitorImpl::flushCacheNow() {
     LS->Peers.clear();
     LS->UnstableExits.clear();
     LS->HitCount = 0;
-    LS->BackoffUntil = 0;
-    LS->Failures = 0;
+    LS->Tier.BackoffUntil = 0;
+    LS->Tier.Failures = 0;
+    // Method bodies die with their generation like every fragment; the
+    // loop stays in its tier (mirroring how demotion survives flushes)
+    // and recompiles once it re-heats past MethodJitThreshold.
+    LS->MethodFrag = nullptr;
+    LS->Tier.MethodCompilePending = false;
     LS->PendingCompiles = 0; // in-flight jobs are stale as of this flush
   }
   RecorderAnchorExit = nullptr;
@@ -974,7 +1151,16 @@ uint32_t TraceMonitorImpl::handleInnerLoopHeader(uint32_t Pc,
     }
   }
   if (!Inner) {
+    // Hybrid: an inner loop that already lives in the method tier will
+    // never grow a trace tree, so the outer recording would abort here at
+    // every iteration forever. Promote the outer loop too -- the method
+    // compiler handles the nesting by construction (calls and inner loops
+    // are just bytecode in the body).
+    LoopState *Outer = RecorderLoopState;
     abortRecording(AbortReason::InnerTreeNotReady, false);
+    if (Outer && InnerLS->Tier.Current == Tier::Method)
+      applyTierAction(Outer, Policy.onBranchOverflow(Outer->Tier),
+                      TierChangeReason::MethodByPolicy);
     return Pc;
   }
   Recorder->coerceTo(Inner->EntryTypes);
@@ -989,7 +1175,8 @@ uint32_t TraceMonitorImpl::handleInnerLoopHeader(uint32_t Pc,
 
   if (E->Kind == ExitKind::Preempt) {
     abortRecording(AbortReason::PreemptedInInnerCall, false);
-    Ctx.serviceInterrupts();
+    if (!Ctx.OnTrace) // see handleExit: never service under a live trace
+      Ctx.serviceInterrupts();
     return E->Pc;
   }
   if (!LeftInnerLoop) {
@@ -1008,7 +1195,12 @@ uint32_t TraceMonitorImpl::handleInnerLoopHeader(uint32_t Pc,
 
 void TraceMonitorImpl::handleExit(ExitDescriptor *E) {
   if (E->Kind == ExitKind::Preempt) {
-    Ctx.serviceInterrupts();
+    // Re-entrant case (an outer method-tier fragment is suspended on the
+    // native stack under a helper call): servicing now could flush or
+    // collect under it. Leave the flag raised; the outer fragment's own
+    // preempt guard delivers the interrupt at its next loop edge.
+    if (!Ctx.OnTrace)
+      Ctx.serviceInterrupts();
     return;
   }
   // Grow the tree at hot side exits (§3.2 "Extending a tree"): only
@@ -1033,7 +1225,13 @@ void TraceMonitorImpl::handleExit(ExitDescriptor *E) {
   if (E->Hits < Ctx.Opts.HotExitThreshold)
     return;
   if (E->FailedRecordings >= Ctx.Opts.MaxRecordingFailures) {
+    // Branch overflow: this exit will never get a compiled continuation.
+    // Trace mode blocks just the exit and keeps the tree; hybrid mode
+    // treats it as evidence the loop is trace-hostile and promotes.
     E->RecordingBlocked = true;
+    if (LoopState *LS = loopStateOfRoot(Root))
+      applyTierAction(LS, Policy.onBranchOverflow(LS->Tier),
+                      TierChangeReason::BranchOverflow);
     return;
   }
   if (Recorder)
@@ -1049,6 +1247,16 @@ void TraceMonitorImpl::handleExit(ExitDescriptor *E) {
 
 LoopState *TraceMonitorImpl::loopStateOfRoot(Fragment *Root) {
   return Root->Loop ? Root->Loop->State : nullptr;
+}
+
+uint8_t TraceMonitorImpl::tierOfLoop(uint32_t ScriptId,
+                                     uint16_t LoopId) const {
+  for (const auto &LS : LoopStates)
+    if (LS->Script && LS->Script->Id == ScriptId &&
+        LoopId < LS->Script->Loops.size() &&
+        LS->Loop == &LS->Script->Loops[LoopId])
+      return (uint8_t)LS->Tier.Current;
+  return (uint8_t)Policy.initialTier();
 }
 
 uint32_t TraceMonitorImpl::onLoopEdge(Interpreter &I, uint32_t Pc,
@@ -1103,7 +1311,12 @@ uint32_t TraceMonitorImpl::onLoopEdge(Interpreter &I, uint32_t Pc,
   LoopState *LS = loopState(S, LoopId);
 
   // --- Execute a matching compiled tree -------------------------------------------
-  if (!LS->Peers.empty() && !Recorder) {
+  // Trace tier only: a promoted loop abandons its trees -- they are the
+  // trace-hostile code the promotion is escaping, and entering them would
+  // freeze the hit counter below the method-jit threshold. The peer
+  // fragments stay alive for stitched branches and nested TreeCalls from
+  // outer traces.
+  if (LS->Tier.Current == Tier::Trace && !LS->Peers.empty() && !Recorder) {
     TypeMap Now = buildEntryTypeMap(I.stackTop());
     auto FramesMatchLive = [&](Fragment *P) {
       auto &Frames = I.frames();
@@ -1132,6 +1345,42 @@ uint32_t TraceMonitorImpl::onLoopEdge(Interpreter &I, uint32_t Pc,
     }
   }
 
+  // --- Execute the method-tier body ----------------------------------------------
+  // Mutually exclusive with the peer block above (Tier::Method there,
+  // MethodFrag only under Tier::Method here). No type map to match --
+  // everything is boxed -- but the frame chain and operand depth must
+  // equal the entry shape (only the first frame-chain shape seen gets
+  // method code).
+  if (LS->MethodFrag && !Recorder) {
+    Fragment *M = LS->MethodFrag;
+    auto &Frames = I.frames();
+    bool Match =
+        !M->Body.empty() &&
+        I.stackTop() + M->EntryTypes.NumGlobals == M->EntryTypes.Types.size() &&
+        M->EntryFrames.size() == Frames.size();
+    for (size_t D = 0; Match && D < Frames.size(); ++D)
+      if (M->EntryFrames[D].Script != Frames[D].Script ||
+          M->EntryFrames[D].Base != Frames[D].Base)
+        Match = false;
+    if (Match) {
+      if (Ctx.EventListener && M->Enters == 0) {
+        JitEvent Ev;
+        Ev.Kind = JitEventKind::MethodEntered;
+        Ev.FragmentId = M->Id;
+        Ev.ScriptId = S->Id;
+        Ev.Pc = Pc;
+        Ev.Arg0 = LS->HitCount;
+        emitEvent(Ev);
+      }
+      ++Ctx.Stats.MethodEnters;
+      ExitDescriptor *E = executeFragment(M);
+      handleExit(E);
+      if (Stats)
+        Ctx.Stats.switchTo(Activity::Interpret);
+      return Interp.currentPc();
+    }
+  }
+
   if (Recorder) {
     // A branch recording just started inside finishRecording's fallthrough;
     // keep interpreting under the recorder.
@@ -1143,7 +1392,7 @@ uint32_t TraceMonitorImpl::onLoopEdge(Interpreter &I, uint32_t Pc,
   // --- Hotness counting / starting a tree (§3.2) ------------------------------------
   ++LS->HitCount;
   if (Ctx.EventListener && LS->HitCount == Ctx.Opts.HotLoopThreshold &&
-      !LS->Blacklisted) {
+      LS->Tier.Current != Tier::Interpreter) {
     JitEvent E;
     E.Kind = JitEventKind::LoopHot;
     E.ScriptId = S->Id;
@@ -1151,8 +1400,19 @@ uint32_t TraceMonitorImpl::onLoopEdge(Interpreter &I, uint32_t Pc,
     E.Arg0 = LS->HitCount;
     emitEvent(E);
   }
-  if (LS->Blacklisted || LS->HitCount < Ctx.Opts.HotLoopThreshold ||
-      LS->HitCount < LS->BackoffUntil || LS->PendingCompiles > 0 ||
+
+  // Method-tier loop without a compiled body yet: build one once it is
+  // hot enough. (Compilation may be asynchronous; the loop interprets
+  // until the job publishes.)
+  if (Policy.shouldMethodCompile(LS->Tier, LS->HitCount,
+                                 LS->MethodFrag != nullptr)) {
+    requestMethodCompile(LS);
+    return NextPc;
+  }
+
+  if (LS->Tier.Current != Tier::Trace ||
+      LS->HitCount < Ctx.Opts.HotLoopThreshold ||
+      LS->HitCount < LS->Tier.BackoffUntil || LS->PendingCompiles > 0 ||
       LS->Peers.size() + LS->PendingCompiles >= MaxPeersPerLoop) {
     if (Stats)
       Ctx.Stats.switchTo(Activity::Interpret);

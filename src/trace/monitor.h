@@ -24,19 +24,24 @@
 #include "support/arena.h"
 #include "trace/oracle.h"
 #include "trace/recorder.h"
+#include "trace/tier.h"
 
 namespace tracejit {
 
-/// Per-loop-header monitor state: hotness counter, blacklisting (§3.3),
-/// and the compiled trees for this header (one per entry type map --
-/// "there may be several trees for a given loop header", §3.2).
+/// Per-loop-header monitor state: hotness counter, tier state (trace/
+/// tier.h; subsumes the old §3.3 blacklist), and the compiled trees for
+/// this header (one per entry type map -- "there may be several trees for
+/// a given loop header", §3.2).
 struct LoopState {
   FunctionScript *Script = nullptr;
   LoopRecord *Loop = nullptr;
   uint32_t HitCount = 0;
-  uint32_t BackoffUntil = 0; ///< Skip recording until HitCount passes this.
-  uint32_t Failures = 0;
-  bool Blacklisted = false;
+  /// Which tier this loop runs in plus the recording failure/backoff
+  /// counters (Tier::Interpreter is the old Blacklisted).
+  TierState Tier;
+  /// Compiled method-tier body (Tier::Method only; survives as long as
+  /// its cache generation).
+  Fragment *MethodFrag = nullptr;
   std::vector<Fragment *> Peers; ///< Compiled root fragments (trees).
   /// Type-unstable loop tails waiting for a complementary peer (Fig. 6).
   std::vector<ExitDescriptor *> UnstableExits;
@@ -72,6 +77,7 @@ public:
   }
   void syncStats() override;
   void collectFragmentProfiles(std::vector<FragmentProfile> &Out) const override;
+  uint8_t tierOfLoop(uint32_t ScriptId, uint16_t LoopId) const override;
   void onEvalStart() override { FlushesThisEval = 0; }
   void requestCacheFlush() override;
   uint32_t cacheGeneration() const override { return CacheGeneration; }
@@ -107,10 +113,10 @@ private:
   /// consulting the oracle for integer demotion (§3.2).
   TypeMap buildEntryTypeMap(uint32_t Sp);
 
-  /// Unbox interpreter state into the TAR per \p Types.
-  void fillTar(const TypeMap &Types, uint32_t Sp);
-  /// Rebox the TAR into interpreter state per the exit descriptor.
-  void restoreFromExit(ExitDescriptor *E);
+  /// Unbox interpreter state into the TAR at \p Tar per \p Types.
+  void fillTar(const TypeMap &Types, uint32_t Sp, uint64_t *Tar);
+  /// Rebox the TAR at \p Tar into interpreter state per the descriptor.
+  void restoreFromExit(ExitDescriptor *E, const uint64_t *Tar);
 
   /// Execute a compiled fragment against the current interpreter state;
   /// returns the exit taken (never null). Handles Nested unwrapping.
@@ -160,7 +166,21 @@ private:
   /// Nested trees (§4.1): recorder hit an inner loop header.
   uint32_t handleInnerLoopHeader(uint32_t Pc, uint16_t LoopId);
 
-  void blacklist(LoopState *LS);
+  // --- Tier transitions (trace/tier.h) --------------------------------------
+
+  /// Apply a TierPolicy verdict: Promote moves the loop to the method
+  /// tier (TierPromoted event), Demote retires it to the interpreter --
+  /// the classic blacklist: Blacklisted event plus the §3.3 Nop3 patch.
+  void applyTierAction(LoopState *LS, TierAction A, TierChangeReason Why);
+  void promoteToMethod(LoopState *LS, TierChangeReason Why);
+  void demoteToInterpreter(LoopState *LS, TierChangeReason Why);
+
+  /// Build, verify, and compile a method-tier body for \p LS (inline or
+  /// via an IsMethod compile job). Failures demote the loop.
+  void requestMethodCompile(LoopState *LS);
+  /// Publication side: wire a compiled method body into its loop.
+  void installMethodFragment(LoopState *LS, Fragment *F);
+
   LoopState *loopStateOfRoot(Fragment *Root);
 
   // --- Code-cache lifecycle (see DESIGN.md "Code-cache lifecycle") ----------
@@ -194,7 +214,13 @@ private:
   /// Branch recordings: the side exit being extended (stitched on finish).
   ExitDescriptor *RecorderAnchorExit = nullptr;
   Oracle TheOracle;
+  /// The tier decision function (pure; built once from EngineOptions).
+  TierPolicy Policy;
   std::unordered_map<NativeFn, std::unique_ptr<CallInfo>> MathCIs;
+  /// Top-level TAR. Re-entrant fragment executions (a method-tier helper
+  /// ran a nested call whose dispatch hit another compiled loop) use a
+  /// stack-local buffer instead: resizing this one would move it out from
+  /// under the suspended outer fragment.
   std::vector<uint8_t> TarBuffer;
   uint32_t NextFragmentId = 0;
   uint32_t MaxPeersPerLoop = 8;

@@ -52,6 +52,7 @@ std::string churnWorkload(int Loops, int Iters) {
 /// Ground truth for a workload: what the pure interpreter computes.
 double interpretedResult(const std::string &Src) {
   EngineOptions O;
+  O.Tier = TierMode::Trace; // asserts trace-pipeline internals
   O.EnableJit = false;
   Engine E(O);
   auto R = E.eval(Src);
@@ -158,6 +159,8 @@ TEST(CacheLifecycle, TinyCacheFlushesAndMatchesInterpreter) {
   double Want = interpretedResult(Src);
 
   EngineOptions O;
+
+  O.Tier = TierMode::Trace; // asserts trace-pipeline internals
   O.EnableJit = true;
   O.CollectStats = true;
   O.CodeCacheBytes = 4096;   // one page: a handful of fragments at most
@@ -194,6 +197,7 @@ TEST(CacheLifecycle, TinyCacheFlushesAndMatchesInterpreter) {
 
 TEST(CacheLifecycle, CommittedBytesMatchFragmentSizes) {
   EngineOptions O;
+  O.Tier = TierMode::Trace; // asserts trace-pipeline internals
   O.EnableJit = true;
   Engine E(O);
   size_t StubBytes = E.codeCacheUsed(); // floor: the runtime stubs
@@ -219,6 +223,7 @@ TEST(CacheLifecycle, CommittedBytesMatchFragmentSizes) {
 
 TEST(CacheLifecycle, HostFlushRetiresAndRecompiles) {
   EngineOptions O;
+  O.Tier = TierMode::Trace; // asserts trace-pipeline internals
   O.EnableJit = true;
   O.CollectStats = true;
   Engine E(O);
@@ -242,6 +247,7 @@ TEST(CacheLifecycle, HostFlushRetiresAndRecompiles) {
 
 TEST(CacheLifecycle, FlushDefersWhileTraceOnNativeStack) {
   EngineOptions O;
+  O.Tier = TierMode::Trace; // asserts trace-pipeline internals
   O.EnableJit = true;
   Engine E(O);
   ASSERT_TRUE(E.eval(churnWorkload(2, 60)).ok());
@@ -268,6 +274,8 @@ TEST(FaultInjection, ExecMapFailFallsBackToExecutor) {
   double Want = interpretedResult(Src);
 
   EngineOptions O;
+
+  O.Tier = TierMode::Trace; // asserts trace-pipeline internals
   O.EnableJit = true;
   O.CollectStats = true;
   O.CaptureTraceEvents = true; // built-in listener sees construction events
@@ -311,6 +319,7 @@ TEST(FaultInjection, AllocFailFlushesThenTripsKillSwitch) {
   // exhaustion forces a flush, and MaxCacheFlushes=2 trips the kill switch.
   auto Allocs = std::make_shared<int>(0);
   EngineOptions O;
+  O.Tier = TierMode::Trace; // asserts trace-pipeline internals
   O.EnableJit = true;
   O.CollectStats = true;
   O.MaxCacheFlushes = 2;
@@ -348,6 +357,8 @@ TEST(FaultInjection, ProtectFailFallsBackToExecutorPerRun) {
   double Want = interpretedResult(Src);
 
   EngineOptions O;
+
+  O.Tier = TierMode::Trace; // asserts trace-pipeline internals
   O.EnableJit = true;
   O.CollectStats = true;
   // The pool starts RW, so compiles succeed; only the RX flip before
@@ -371,6 +382,8 @@ TEST(FaultInjection, CompileFailAbortsIntoBlacklistBackoff) {
   double Want = interpretedResult(Src);
 
   EngineOptions O;
+
+  O.Tier = TierMode::Trace; // asserts trace-pipeline internals
   O.EnableJit = true;
   O.CollectStats = true;
   O.FaultInjector = [](FaultSite S) { return S == FaultSite::CompileFail; };

@@ -54,6 +54,7 @@ std::string churnWorkload(int Loops, int Iters) {
 
 double interpretedResult(const std::string &Src) {
   EngineOptions O;
+  O.Tier = TierMode::Trace; // asserts trace-pipeline internals
   O.EnableJit = false;
   Engine E(O);
   auto R = E.eval(Src);
@@ -180,6 +181,8 @@ TEST(OffThreadCompile, CompilesOffThreadAndMatchesInterpreter) {
   double Want = interpretedResult(Src);
 
   EngineOptions O;
+
+  O.Tier = TierMode::Trace; // asserts trace-pipeline internals
   O.EnableJit = true;
   O.CollectStats = true;
   O.OffThreadCompile = true;
@@ -218,6 +221,8 @@ TEST(OffThreadCompile, BackpressureDegradesToInterpreterWithBackoff) {
   Svc.setPausedForTest(true); // the queue can only fill, never drain
 
   EngineOptions O;
+
+  O.Tier = TierMode::Trace; // asserts trace-pipeline internals
   O.EnableJit = true;
   O.CollectStats = true;
   O.OffThreadCompile = true;
@@ -252,6 +257,8 @@ TEST(OffThreadCompile, PublishAfterFlushIsDroppedByGeneration) {
   Svc.setPausedForTest(true);
 
   EngineOptions O;
+
+  O.Tier = TierMode::Trace; // asserts trace-pipeline internals
   O.EnableJit = true;
   O.CollectStats = true;
   O.OffThreadCompile = true;
@@ -300,6 +307,7 @@ TEST(OffThreadCompile, EngineDestructionWithJobsInFlightIsClean) {
   Svc.setPausedForTest(true);
   {
     EngineOptions O;
+    O.Tier = TierMode::Trace; // asserts trace-pipeline internals
     O.EnableJit = true;
     O.OffThreadCompile = true;
     O.SharedCompileService = &Svc;
@@ -312,6 +320,7 @@ TEST(OffThreadCompile, EngineDestructionWithJobsInFlightIsClean) {
   // Engine-owned service: destruction joins the worker thread.
   {
     EngineOptions O;
+    O.Tier = TierMode::Trace; // asserts trace-pipeline internals
     O.EnableJit = true;
     O.OffThreadCompile = true;
     Engine E(O);
@@ -369,6 +378,7 @@ TEST(OffThreadCompile, OffByDefaultKeepsPipelineInert) {
 
 TEST(OffThreadCompile, FlagsParseThroughApplyFlag) {
   EngineOptions O;
+  O.Tier = TierMode::Trace; // asserts trace-pipeline internals
   EXPECT_TRUE(O.applyFlag("--off-thread-compile"));
   EXPECT_TRUE(O.OffThreadCompile);
   EXPECT_TRUE(O.applyFlag("--no-off-thread-compile"));

@@ -163,6 +163,7 @@ TEST(Governance, HostInterruptTerminatesFromAnotherThread) {
 
 TEST(Governance, InterruptMidRecordingIsForgiven) {
   EngineOptions O;
+  O.Tier = TierMode::Trace; // the interrupt is raised by a RecordStart event
   O.EnableJit = true;
   O.CollectStats = true;
   Engine E(O);

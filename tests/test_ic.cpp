@@ -50,6 +50,7 @@ EngineOptions jitIc() {
   EngineOptions O;
   O.EnableJit = true;
   O.EnableIC = true;
+  O.Tier = TierMode::Trace; // IC/trace interplay assertions
   return O;
 }
 
